@@ -1,0 +1,218 @@
+package propack
+
+import (
+	"fmt"
+	"io"
+	"testing"
+
+	"repro/internal/baseline"
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/orchestrator"
+	"repro/internal/platform"
+	"repro/internal/workload"
+)
+
+// --- Figure/table regeneration benches -------------------------------------
+//
+// One benchmark per paper figure: each iteration regenerates the figure's
+// rows end-to-end (bursts, model fits, optimizer). They run on the reduced
+// concurrency grid so `go test -bench=.` stays tractable; `cmd/expgen`
+// produces the full-grid tables.
+
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	e, err := experiments.ByID(id)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := experiments.Config{Seed: 1, Quick: true}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tab, err := e.Run(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := tab.Fprint(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig1(b *testing.B)       { benchExperiment(b, "fig1") }
+func BenchmarkFig2(b *testing.B)       { benchExperiment(b, "fig2") }
+func BenchmarkFig4(b *testing.B)       { benchExperiment(b, "fig4") }
+func BenchmarkFig5a(b *testing.B)      { benchExperiment(b, "fig5a") }
+func BenchmarkFig5b(b *testing.B)      { benchExperiment(b, "fig5b") }
+func BenchmarkFig6(b *testing.B)       { benchExperiment(b, "fig6") }
+func BenchmarkFig7(b *testing.B)       { benchExperiment(b, "fig7") }
+func BenchmarkFig8(b *testing.B)       { benchExperiment(b, "fig8") }
+func BenchmarkFig9(b *testing.B)       { benchExperiment(b, "fig9") }
+func BenchmarkFig10(b *testing.B)      { benchExperiment(b, "fig10") }
+func BenchmarkFig11(b *testing.B)      { benchExperiment(b, "fig11") }
+func BenchmarkFig12(b *testing.B)      { benchExperiment(b, "fig12") }
+func BenchmarkFig13(b *testing.B)      { benchExperiment(b, "fig13") }
+func BenchmarkFig14(b *testing.B)      { benchExperiment(b, "fig14") }
+func BenchmarkFig15(b *testing.B)      { benchExperiment(b, "fig15") }
+func BenchmarkFig16(b *testing.B)      { benchExperiment(b, "fig16") }
+func BenchmarkFig17(b *testing.B)      { benchExperiment(b, "fig17") }
+func BenchmarkFig18(b *testing.B)      { benchExperiment(b, "fig18") }
+func BenchmarkFig19(b *testing.B)      { benchExperiment(b, "fig19") }
+func BenchmarkFig20(b *testing.B)      { benchExperiment(b, "fig20") }
+func BenchmarkFig21(b *testing.B)      { benchExperiment(b, "fig21") }
+func BenchmarkValidation(b *testing.B) { benchExperiment(b, "validation") }
+
+// Extension experiments (paper Sec. 5 discussion, implemented here).
+func BenchmarkExtHetero(b *testing.B)    { benchExperiment(b, "ext-hetero") }
+func BenchmarkExtProvider(b *testing.B)  { benchExperiment(b, "ext-provider") }
+func BenchmarkExtThrottle(b *testing.B)  { benchExperiment(b, "ext-throttle") }
+func BenchmarkExtDecentral(b *testing.B) { benchExperiment(b, "ext-decentral") }
+func BenchmarkExtAmortize(b *testing.B)  { benchExperiment(b, "ext-amortize") }
+
+// --- Ablation benches (DESIGN.md §5) ---------------------------------------
+
+func BenchmarkAblation(b *testing.B) { benchExperiment(b, "ablation") }
+
+// BenchmarkAblationSampling compares the cost of ProPack's alternate-point
+// interference profile against the full sweep it avoids.
+func BenchmarkAblationSampling(b *testing.B) {
+	for _, full := range []bool{false, true} {
+		name := "alternate"
+		if full {
+			name = "full-sweep"
+		}
+		b.Run(name, func(b *testing.B) {
+			cfg := platform.AWSLambda()
+			d := VideoWorkload().Demand()
+			for i := 0; i < b.N; i++ {
+				meas := &core.SimMeasurer{Config: cfg, Demand: d, Seed: int64(i)}
+				opts := core.ProfileOptionsFor(cfg, d)
+				opts.FullSweep = full
+				if _, _, _, _, err := core.BuildModels(meas, opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationAlternatives times the strategies the paper rejects next
+// to ProPack at one operating point.
+func BenchmarkAblationAlternatives(b *testing.B) {
+	cfg := platform.AWSLambda()
+	d := VideoWorkload().Demand()
+	const c = 1000
+	strategies := map[string]func(i int) error{
+		"serial-batching": func(i int) error {
+			_, err := (baseline.SerialBatching{BatchSize: 250}).Execute(cfg, d, c, int64(i))
+			return err
+		},
+		"staggered": func(i int) error {
+			_, err := (baseline.Staggered{DelaySec: 0.2}).Execute(cfg, d, c, int64(i))
+			return err
+		},
+		"pywren": func(i int) error {
+			_, err := (baseline.Pywren{}).Execute(cfg, d, c, int64(i))
+			return err
+		},
+		"propack": func(i int) error {
+			_, err := orchestrator.RunProPack(cfg, d, c, core.Balanced(), int64(i))
+			return err
+		},
+	}
+	for name, run := range strategies {
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if err := run(i); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// --- Component microbenches -------------------------------------------------
+
+// BenchmarkBurst5000 times one full discrete-event simulation of a 5000-
+// instance burst — the workhorse behind every experiment.
+func BenchmarkBurst5000(b *testing.B) {
+	cfg := platform.AWSLambda()
+	d := VideoWorkload().Demand()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := platform.Run(cfg, platform.Burst{
+			Demand: d, Functions: 5000, Degree: 1, Seed: int64(i),
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkOptimalDegree times Eq. 7's search across the full degree range.
+func BenchmarkOptimalDegree(b *testing.B) {
+	cfg := platform.AWSLambda()
+	d := VideoWorkload().Demand()
+	meas := &core.SimMeasurer{Config: cfg, Demand: d, Seed: 1}
+	models, _, _, _, err := core.BuildModels(meas, core.ProfileOptionsFor(cfg, d))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := models.OptimalDegree(5000, core.Balanced()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkOracleSweep times the brute-force search ProPack's model
+// replaces — the cost asymmetry the whole paper leans on.
+func BenchmarkOracleSweep(b *testing.B) {
+	cfg := platform.AWSLambda()
+	d := SortWorkload().Demand()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := (baseline.Oracle{Objective: baseline.MinTotalService}).Search(cfg, d, 1000, int64(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Real-kernel benches: the actual Go computations behind each workload.
+func BenchmarkKernels(b *testing.B) {
+	kernels := []struct {
+		name string
+		w    Workload
+	}{
+		{"video", workload.Video{Frames: 4}},
+		{"sort", workload.Sort{Records: 1 << 14}},
+		{"resize", workload.StatelessCost{Images: 2, SrcSize: 128}},
+		{"smith-waterman", workload.SmithWaterman{QueryLen: 128, Subjects: 8, SubjectLen: 128}},
+		{"xapian", workload.Xapian{Docs: 500, Queries: 16}},
+	}
+	for _, k := range kernels {
+		b.Run(k.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := k.w.NewTask(int64(i)).Run(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkLocalPacking measures real goroutine-level packing interference
+// on the host machine: the same total work at increasing packing degrees.
+func BenchmarkLocalPacking(b *testing.B) {
+	w := workload.StatelessCost{Images: 1, SrcSize: 128}
+	for _, degree := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("degree-%d", degree), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := workload.RunPacked(w, degree, 2, int64(i)); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,439 @@
+// Command propack is the CLI face of the library: it profiles an
+// application on a platform, prints ProPack's fitted models and recommended
+// packing degree, executes plans on the simulated platform, and can run the
+// real workload kernels packed locally.
+//
+// Usage:
+//
+//	propack advise -app Video -platform aws -c 5000 [-ws 0.5 | -qos 120]
+//	propack run    -app Video -platform aws -c 5000 -degree 10
+//	propack sweep  -app Sort  -platform aws -c 2000
+//	propack local  -app "Stateless Cost" -degree 8 -cores 4
+//	propack apps
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/baseline"
+	"repro/internal/core"
+	"repro/internal/funcx"
+	"repro/internal/orchestrator"
+	"repro/internal/platform"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "advise":
+		err = cmdAdvise(os.Args[2:])
+	case "run":
+		err = cmdRun(os.Args[2:])
+	case "sweep":
+		err = cmdSweep(os.Args[2:])
+	case "local":
+		err = cmdLocal(os.Args[2:])
+	case "hetero":
+		err = cmdHetero(os.Args[2:])
+	case "pareto":
+		err = cmdPareto(os.Args[2:])
+	case "validate":
+		err = cmdValidate(os.Args[2:])
+	case "apps":
+		err = cmdApps()
+	case "-h", "--help", "help":
+		usage()
+	default:
+		fmt.Fprintf(os.Stderr, "propack: unknown command %q\n", os.Args[1])
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "propack:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, strings.TrimSpace(`
+usage: propack <command> [flags]
+
+commands:
+  advise  profile an app on a platform and print the optimal packing plan
+  run     execute C functions at a packing degree on the simulated platform
+  sweep   run every feasible packing degree and print the metrics
+  local   run the real workload kernel packed as goroutines on this machine
+  hetero  plan and run a heterogeneous two-application job (Sec. 5 extension)
+  pareto  print the service/expense Pareto frontier of packing degrees
+  validate run the Sec. 2.4 Pearson χ² goodness-of-fit for an app/platform
+  apps    list the benchmark applications
+`))
+}
+
+func platformByName(name string) (platform.Config, error) {
+	switch strings.ToLower(name) {
+	case "aws", "lambda", "aws-lambda":
+		return platform.AWSLambda(), nil
+	case "google", "gcf":
+		return platform.GoogleCloudFunctions(), nil
+	case "azure":
+		return platform.AzureFunctions(), nil
+	case "funcx":
+		return funcx.Config(), nil
+	default:
+		return platform.Config{}, fmt.Errorf("unknown platform %q (aws, google, azure, funcx)", name)
+	}
+}
+
+func cmdApps() error {
+	for _, w := range workload.All() {
+		d := w.Demand()
+		fmt.Printf("%-15s solo %.0fs (cpu %.0fs / io %.0fs), %.0f MB, max degree on 10GB Lambda: %d\n",
+			w.Name(), d.SoloSeconds(), d.CPUSeconds, d.IOSeconds, d.MemoryMB,
+			platform.AWSLambda().Shape.MaxDegree(d))
+	}
+	return nil
+}
+
+func cmdAdvise(args []string) error {
+	fs := flag.NewFlagSet("advise", flag.ExitOnError)
+	app := fs.String("app", "Video", "application name (see `propack apps`)")
+	plat := fs.String("platform", "aws", "platform: aws, google, azure, funcx")
+	c := fs.Int("c", 5000, "concurrency level (number of logical functions)")
+	ws := fs.Float64("ws", 0.5, "service-time weight W_S (expense weight is 1−W_S)")
+	qos := fs.Float64("qos", 0, "p95 service-time bound in seconds (0 = no QoS; overrides -ws)")
+	registry := fs.String("registry", "", "model registry directory (cache fitted models across runs)")
+	ci := fs.Bool("ci", false, "bootstrap 95% confidence intervals for the fitted parameters")
+	seed := fs.Int64("seed", 1, "simulation seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	w, err := workload.ByName(*app)
+	if err != nil {
+		return err
+	}
+	cfg, err := platformByName(*plat)
+	if err != nil {
+		return err
+	}
+	meas := &core.SimMeasurer{Config: cfg, Demand: w.Demand(), Seed: *seed}
+	var models core.Models
+	var overhead core.Overhead
+	if *registry != "" {
+		reg, err := core.NewRegistry(*registry)
+		if err != nil {
+			return err
+		}
+		cached := false
+		models, cached, err = reg.LoadOrBuild(cfg.Name, w.Name(), meas, core.ProfileOptionsFor(cfg, w.Demand()))
+		if err != nil {
+			return err
+		}
+		if cached {
+			fmt.Printf("(models loaded from registry %s — no probes run)\n", *registry)
+		}
+	} else {
+		var etS []core.ETSample
+		var scS []core.ScalingSample
+		models, etS, scS, overhead, err = core.BuildModels(meas, core.ProfileOptionsFor(cfg, w.Demand()))
+		if err != nil {
+			return err
+		}
+		fmt.Printf("probe runs    : %d interference, %d scaling (%.0f probe-seconds)\n",
+			len(etS), len(scS), overhead.ExecProbeSec)
+		if *ci {
+			conf, err := core.ConfidenceFor(etS, models.ET.MfuncGB, scS, core.ConfidenceOptions{Seed: *seed})
+			if err != nil {
+				return err
+			}
+			fmt.Printf("95%% intervals : α %v, β1 %v, β2 %v\n", conf.Alpha, conf.B1, conf.B2)
+		}
+	}
+	fmt.Printf("application   : %s on %s\n", w.Name(), cfg.Name)
+	fmt.Printf("interference  : %s\n", models.ET)
+	fmt.Printf("scaling model : %s\n", models.Scaling)
+	fmt.Printf("max degree    : %d\n", models.MaxDegree)
+
+	var plan core.Plan
+	var weights core.Weights
+	if *qos > 0 {
+		plan, weights, err = models.QoSPlan(*c, *qos, core.QoSOptions{})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("QoS weights   : W_S=%.2f W_E=%.2f (p95 bound %.1fs)\n",
+			weights.Service, weights.Expense, *qos)
+	} else {
+		weights = core.Weights{Service: *ws, Expense: 1 - *ws}
+		plan, err = models.PlanFor(*c, weights)
+		if err != nil {
+			return err
+		}
+	}
+	lo, hi, err := models.DegreeRange(*c, weights, 0.02)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\nrecommended packing degree at C=%d: %d (degrees %d–%d stay within 2%% of optimal)\n",
+		*c, plan.Degree, lo, hi)
+	fmt.Printf("predicted service: %.1fs (baseline %.1fs)\n", plan.PredictedServiceSec, plan.BaselineServiceSec)
+	fmt.Printf("predicted expense: $%.2f (baseline $%.2f)\n", plan.PredictedExpenseUSD, plan.BaselineExpenseUSD)
+	fmt.Printf("modeling bill    : $%.4f\n", overhead.TotalUSD())
+	return nil
+}
+
+func printMetrics(m trace.Metrics) {
+	fmt.Printf("degree %d → %d instances on %s\n", m.Degree, m.Instances, m.Platform)
+	fmt.Printf("  scaling time   : %.1fs\n", m.ScalingTime)
+	fmt.Printf("  service total  : %.1fs  (p95 %.1fs, median %.1fs)\n",
+		m.TotalService, m.TailService, m.MedianService)
+	fmt.Printf("  expense        : $%.2f\n", m.ExpenseUSD)
+	fmt.Printf("  function-hours : %.2f\n", m.FunctionHours)
+}
+
+func cmdRun(args []string) error {
+	fs := flag.NewFlagSet("run", flag.ExitOnError)
+	app := fs.String("app", "Video", "application name")
+	plat := fs.String("platform", "aws", "platform: aws, google, azure, funcx")
+	c := fs.Int("c", 5000, "concurrency level")
+	degree := fs.Int("degree", 1, "packing degree (1 = traditional)")
+	timeline := fs.String("timeline", "", "write per-instance timelines as CSV to this file")
+	seed := fs.Int64("seed", 1, "simulation seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	w, err := workload.ByName(*app)
+	if err != nil {
+		return err
+	}
+	cfg, err := platformByName(*plat)
+	if err != nil {
+		return err
+	}
+	res, err := platform.Run(cfg, platform.Burst{
+		Demand: w.Demand(), Functions: *c, Degree: *degree, Seed: *seed,
+	})
+	if err != nil {
+		return err
+	}
+	printMetrics(trace.FromResult(res))
+	if *timeline != "" {
+		f, err := os.Create(*timeline)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := trace.WriteTimelinesCSV(f, res); err != nil {
+			return err
+		}
+		fmt.Printf("  timelines      : %s (%d rows)\n", *timeline, len(res.Timelines))
+	}
+	return nil
+}
+
+func cmdSweep(args []string) error {
+	fs := flag.NewFlagSet("sweep", flag.ExitOnError)
+	app := fs.String("app", "Video", "application name")
+	plat := fs.String("platform", "aws", "platform: aws, google, azure, funcx")
+	c := fs.Int("c", 2000, "concurrency level")
+	seed := fs.Int64("seed", 1, "simulation seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	w, err := workload.ByName(*app)
+	if err != nil {
+		return err
+	}
+	cfg, err := platformByName(*plat)
+	if err != nil {
+		return err
+	}
+	all, err := baseline.Sweep(cfg, w.Demand(), *c, *seed, cfg.Shape.MaxDegree(w.Demand()))
+	if err != nil {
+		return err
+	}
+	tab := &trace.Table{
+		Title:  fmt.Sprintf("%s on %s at C=%d", w.Name(), cfg.Name, *c),
+		Header: []string{"degree", "instances", "scaling", "service", "p95", "expense"},
+	}
+	for _, m := range all {
+		tab.AddRow(fmt.Sprint(m.Degree), fmt.Sprint(m.Instances),
+			fmt.Sprintf("%.1fs", m.ScalingTime), fmt.Sprintf("%.1fs", m.TotalService),
+			fmt.Sprintf("%.1fs", m.TailService), fmt.Sprintf("$%.2f", m.ExpenseUSD))
+	}
+	return tab.Fprint(os.Stdout)
+}
+
+func cmdLocal(args []string) error {
+	fs := flag.NewFlagSet("local", flag.ExitOnError)
+	app := fs.String("app", "Stateless Cost", "application name")
+	degree := fs.Int("degree", 4, "functions packed as goroutines")
+	cores := fs.Int("cores", 2, "cores the packed instance may use")
+	seed := fs.Int64("seed", 1, "input seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	w, err := workload.ByName(*app)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("running %d × %s packed on %d cores…\n", *degree, w.Name(), *cores)
+	res, err := workload.RunPacked(w, *degree, *cores, *seed)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("wall time: %v\n", res.Wall)
+	for i, sum := range res.Checksums {
+		fmt.Printf("  function %2d checksum %016x\n", i, sum)
+	}
+	return nil
+}
+
+func cmdHetero(args []string) error {
+	fs := flag.NewFlagSet("hetero", flag.ExitOnError)
+	appA := fs.String("a", "Video", "first application")
+	countA := fs.Int("ca", 1000, "first application's concurrency")
+	appB := fs.String("b", "Smith-Waterman", "second application")
+	countB := fs.Int("cb", 1000, "second application's concurrency")
+	plat := fs.String("platform", "aws", "platform: aws, google, azure, funcx")
+	ws := fs.Float64("ws", 0.5, "service-time weight W_S")
+	seed := fs.Int64("seed", 1, "simulation seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	wa, err := workload.ByName(*appA)
+	if err != nil {
+		return err
+	}
+	wb, err := workload.ByName(*appB)
+	if err != nil {
+		return err
+	}
+	cfg, err := platformByName(*plat)
+	if err != nil {
+		return err
+	}
+	apps := []orchestrator.MixedApp{
+		{Workload: wa, Count: *countA},
+		{Workload: wb, Count: *countB},
+	}
+	weights := core.Weights{Service: *ws, Expense: 1 - *ws}
+
+	base, err := orchestrator.ExecuteJointUnpacked(cfg, apps, *seed)
+	if err != nil {
+		return err
+	}
+	perApp, degrees, err := orchestrator.ExecutePerAppPacked(cfg, apps, weights, *seed)
+	if err != nil {
+		return err
+	}
+	run, err := orchestrator.RunMixedProPack(cfg, apps, weights, *seed)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("job: %d × %s + %d × %s on %s\n\n", *countA, wa.Name(), *countB, wb.Name(), cfg.Name)
+	fmt.Printf("%-28s %10s %12s %10s\n", "deployment", "instances", "service", "expense")
+	rowOut := func(name string, inst int, m trace.Metrics) {
+		fmt.Printf("%-28s %10d %11.1fs %9s\n", name, inst, m.TotalService, fmt.Sprintf("$%.2f", m.ExpenseUSD))
+	}
+	rowOut("unpacked", base.Instances, base)
+	rowOut(fmt.Sprintf("per-app (degrees %v)", degrees), perApp.Instances, perApp)
+	rowOut(fmt.Sprintf("hetero planner (%s)", run.Plan.Strategy), run.Plan.Instances(), run.Metrics)
+	fmt.Printf("\nmodeling overhead: $%.2f\n", run.Overhead.TotalUSD())
+	return nil
+}
+
+func cmdPareto(args []string) error {
+	fs := flag.NewFlagSet("pareto", flag.ExitOnError)
+	app := fs.String("app", "Video", "application name")
+	plat := fs.String("platform", "aws", "platform: aws, google, azure, funcx")
+	c := fs.Int("c", 5000, "concurrency level")
+	seed := fs.Int64("seed", 1, "simulation seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	w, err := workload.ByName(*app)
+	if err != nil {
+		return err
+	}
+	cfg, err := platformByName(*plat)
+	if err != nil {
+		return err
+	}
+	meas := &core.SimMeasurer{Config: cfg, Demand: w.Demand(), Seed: *seed}
+	models, _, _, _, err := core.BuildModels(meas, core.ProfileOptionsFor(cfg, w.Demand()))
+	if err != nil {
+		return err
+	}
+	frontier, err := models.ParetoFrontier(*c)
+	if err != nil {
+		return err
+	}
+	tab := &trace.Table{
+		Title:  fmt.Sprintf("Pareto frontier: %s on %s at C=%d (predicted)", w.Name(), cfg.Name, *c),
+		Header: []string{"degree", "service", "expense"},
+	}
+	for _, p := range frontier {
+		tab.AddRow(fmt.Sprint(p.Degree), fmt.Sprintf("%.1fs", p.ServiceSec),
+			fmt.Sprintf("$%.2f", p.ExpenseUSD))
+	}
+	return tab.Fprint(os.Stdout)
+}
+
+func cmdValidate(args []string) error {
+	fs := flag.NewFlagSet("validate", flag.ExitOnError)
+	app := fs.String("app", "Video", "application name")
+	plat := fs.String("platform", "aws", "platform: aws, google, azure, funcx")
+	c := fs.Int("c", 2000, "concurrency level of the validation runs")
+	seed := fs.Int64("seed", 1, "simulation seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	w, err := workload.ByName(*app)
+	if err != nil {
+		return err
+	}
+	cfg, err := platformByName(*plat)
+	if err != nil {
+		return err
+	}
+	meas := &core.SimMeasurer{Config: cfg, Demand: w.Demand(), Seed: *seed}
+	models, _, _, _, err := core.BuildModels(meas, core.ProfileOptionsFor(cfg, w.Demand()))
+	if err != nil {
+		return err
+	}
+	var obs []core.Observation
+	for _, deg := range core.SampleDegrees(models.MaxDegree) {
+		res, err := platform.Run(cfg, platform.Burst{
+			Demand: w.Demand(), Functions: *c, Degree: deg, Seed: *seed + 101,
+		})
+		if err != nil {
+			break
+		}
+		obs = append(obs, core.Observation{
+			Degree:     deg,
+			ServiceSec: res.TotalServiceTime(),
+			ExpenseUSD: res.ExpenseUSD(),
+		})
+	}
+	sv, ev, err := models.ValidateModels(*c, obs, core.PaperValidationDF)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%s on %s, %d observations at C=%d (df=%d, 99.5%% confidence)\n",
+		w.Name(), cfg.Name, len(obs), *c, core.PaperValidationDF)
+	fmt.Printf("  %v\n  %v\n", sv, ev)
+	if !sv.Accepted || !ev.Accepted {
+		return fmt.Errorf("model rejected by the χ² test")
+	}
+	return nil
+}

@@ -1,0 +1,25 @@
+package propack_test
+
+import (
+	"fmt"
+
+	propack "repro"
+)
+
+// ExampleAdvise shows the minimal planning loop: profile an application on
+// a platform and read off the recommended packing degree.
+func ExampleAdvise() {
+	cfg := propack.AWSLambda()
+	app := propack.VideoWorkload()
+	rec, err := propack.Advise(cfg, app.Demand(), 5000, propack.Balanced())
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("packing degree:", rec.Plan.Degree)
+	fmt.Println("beats baseline on both objectives:",
+		rec.Plan.PredictedServiceSec < rec.Plan.BaselineServiceSec &&
+			rec.Plan.PredictedExpenseUSD < rec.Plan.BaselineExpenseUSD)
+	// Output:
+	// packing degree: 15
+	// beats baseline on both objectives: true
+}

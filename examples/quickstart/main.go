@@ -1,0 +1,51 @@
+// Quickstart: profile an application, get ProPack's optimal packing degree,
+// and compare a packed run against the traditional no-packing deployment.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	propack "repro"
+)
+
+func main() {
+	cfg := propack.AWSLambda()
+	app := propack.VideoWorkload()
+	const concurrency = 5000
+
+	// 1. Ask ProPack for a plan: this probes the platform (interference at
+	//    a few packing degrees, scaling at a few burst sizes), fits Eq. 1
+	//    and Eq. 2, and solves Eq. 7 with equal weights.
+	rec, err := propack.Advise(cfg, app.Demand(), concurrency, propack.Balanced())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("ProPack models for %s on %s\n", app.Name(), cfg.Name)
+	fmt.Printf("  %v\n  %v\n", rec.Models.ET, rec.Models.Scaling)
+	fmt.Printf("  recommended packing degree at C=%d: %d\n\n", concurrency, rec.Plan.Degree)
+
+	// 2. Execute both deployments on the simulated platform.
+	base, err := propack.Run(cfg, app.Demand(), concurrency, 1, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	packed, err := propack.Run(cfg, app.Demand(), concurrency, rec.Plan.Degree, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("%-22s %12s %12s\n", "", "no packing", "ProPack")
+	row := func(name string, a, b float64, unit string) {
+		fmt.Printf("%-22s %11.1f%s %11.1f%s   (%.0f%% better)\n",
+			name, a, unit, b, unit, 100*(1-b/a))
+	}
+	row("scaling time", base.ScalingTime, packed.ScalingTime, "s")
+	row("total service time", base.TotalService, packed.TotalService, "s")
+	row("p95 service time", base.TailService, packed.TailService, "s")
+	row("expense", base.ExpenseUSD, packed.ExpenseUSD, "$")
+	fmt.Printf("\nmodeling overhead (already amortizable across runs): $%.4f\n",
+		rec.Overhead.TotalUSD())
+}

@@ -1,0 +1,58 @@
+// Multi-stage workflow: the paper's introduction motivates packing with
+// applications "broken down into multiple steps, where each of the steps is
+// processed in parallel by a large number of serverless functions". This
+// example runs a two-stage map→reduce workflow (the Sort benchmark's real
+// dataflow) with a barrier between stages, letting ProPack pick each
+// stage's packing degree — note how the short I/O-heavy mappers pack deeper
+// than the heavier reducers.
+//
+//	go run ./examples/workflow
+package main
+
+import (
+	"fmt"
+	"log"
+
+	propack "repro"
+)
+
+func main() {
+	cfg := propack.AWSLambda()
+	const concurrency = 2000
+
+	mapper := propack.Demand{
+		CPUSeconds: 8, IOSeconds: 12, MemoryMB: 256, MemBWMBps: 2000,
+		InputMB: 16, OutputMB: 16, ShuffleFraction: 1,
+	}
+	stages := []propack.Stage{
+		{Name: "map", Demand: mapper, Count: concurrency}, // Degree 0: ProPack decides
+		{Name: "reduce", Demand: propack.SortWorkload().Demand(), Count: concurrency},
+	}
+
+	planned, err := propack.RunPipeline(cfg, stages, propack.Balanced(), 5)
+	if err != nil {
+		log.Fatal(err)
+	}
+	baseline := []propack.Stage{
+		{Name: "map", Demand: mapper, Count: concurrency, Degree: 1},
+		{Name: "reduce", Demand: propack.SortWorkload().Demand(), Count: concurrency, Degree: 1},
+	}
+	base, err := propack.RunPipeline(cfg, baseline, propack.Balanced(), 5)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("map→reduce workflow at C=%d per stage on %s\n\n", concurrency, cfg.Name)
+	fmt.Printf("%-8s %14s %14s %12s %12s\n", "stage", "degree (plan)", "service", "p95", "expense")
+	for i, st := range planned.Stages {
+		fmt.Printf("%-8s %14d %13.1fs %11.1fs %11s\n",
+			stages[i].Name, planned.Degrees[i], st.TotalService, st.TailService,
+			fmt.Sprintf("$%.2f", st.ExpenseUSD))
+	}
+	fmt.Printf("\nend-to-end makespan : %.1fs (unpacked: %.1fs, %.0f%% better)\n",
+		planned.TotalServiceSec, base.TotalServiceSec,
+		100*(1-planned.TotalServiceSec/base.TotalServiceSec))
+	fmt.Printf("total expense       : $%.2f (unpacked: $%.2f, %.0f%% better)\n",
+		planned.ExpenseUSD, base.ExpenseUSD,
+		100*(1-planned.ExpenseUSD/base.ExpenseUSD))
+}

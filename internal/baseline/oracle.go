@@ -1,0 +1,149 @@
+package baseline
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/interfere"
+	"repro/internal/orchestrator"
+	"repro/internal/platform"
+	"repro/internal/trace"
+)
+
+// Objective selects the figure of merit the Oracle minimizes. The paper
+// reports Oracle degrees for total, tail, and median service time, for
+// expense, and for the equal-weight combination (Figs. 8 and 15).
+type Objective int
+
+const (
+	// MinTotalService minimizes the time to the last instance's completion.
+	MinTotalService Objective = iota
+	// MinTailService minimizes the 95th-percentile service time.
+	MinTailService
+	// MinMedianService minimizes the median service time.
+	MinMedianService
+	// MinExpense minimizes the user's bill.
+	MinExpense
+	// MinBalanced minimizes the equal-weight fractional-regret combination
+	// of total service time and expense (the observed analogue of Eq. 7).
+	MinBalanced
+)
+
+func (o Objective) String() string {
+	switch o {
+	case MinTotalService:
+		return "total service time"
+	case MinTailService:
+		return "tail service time"
+	case MinMedianService:
+		return "median service time"
+	case MinExpense:
+		return "expense"
+	case MinBalanced:
+		return "service+expense"
+	default:
+		return fmt.Sprintf("Objective(%d)", int(o))
+	}
+}
+
+func (o Objective) value(m trace.Metrics) float64 {
+	switch o {
+	case MinTotalService:
+		return m.TotalService
+	case MinTailService:
+		return m.TailService
+	case MinMedianService:
+		return m.MedianService
+	case MinExpense:
+		return m.ExpenseUSD
+	default:
+		panic(fmt.Sprintf("baseline: objective %d has no scalar value", int(o)))
+	}
+}
+
+// Oracle performs the exhaustive brute-force search the paper uses as
+// ground truth: it actually runs the application at every feasible packing
+// degree and keeps the best by the objective. This is exactly what ProPack's
+// analytical model exists to avoid paying for.
+type Oracle struct {
+	Objective Objective
+}
+
+// Name implements Strategy.
+func (o Oracle) Name() string { return fmt.Sprintf("Oracle (%s)", o.Objective) }
+
+// Execute implements Strategy.
+func (o Oracle) Execute(cfg platform.Config, d interfere.Demand, c int, seed int64) (trace.Metrics, error) {
+	m, _, err := o.Search(cfg, d, c, seed)
+	return m, err
+}
+
+// Search runs the sweep and also returns the winning packing degree.
+func (o Oracle) Search(cfg platform.Config, d interfere.Demand, c int, seed int64) (trace.Metrics, int, error) {
+	maxDeg := cfg.Shape.MaxDegree(d)
+	if maxDeg < 1 {
+		return trace.Metrics{}, 0, fmt.Errorf("%w: function does not fit in instance memory", ErrNoFeasibleDegree)
+	}
+	all, err := Sweep(cfg, d, c, seed, maxDeg)
+	if err != nil {
+		return trace.Metrics{}, 0, err
+	}
+	if len(all) == 0 {
+		return trace.Metrics{}, 0, ErrNoFeasibleDegree
+	}
+	if o.Objective == MinBalanced {
+		best := bestBalanced(all)
+		return best, best.Degree, nil
+	}
+	best := all[0]
+	for _, m := range all[1:] {
+		if o.Objective.value(m) < o.Objective.value(best) {
+			best = m
+		}
+	}
+	return best, best.Degree, nil
+}
+
+// Sweep runs the application at every packing degree from 1 to maxDeg,
+// stopping at the platform's execution limit, and returns the metrics of
+// each feasible run in degree order.
+func Sweep(cfg platform.Config, d interfere.Demand, c int, seed int64, maxDeg int) ([]trace.Metrics, error) {
+	var out []trace.Metrics
+	for deg := 1; deg <= maxDeg; deg++ {
+		m, err := orchestrator.Execute(cfg, d, c, deg, seed)
+		if errors.Is(err, platform.ErrExecLimit) {
+			break // higher degrees only get slower; stop the sweep
+		}
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, m)
+	}
+	return out, nil
+}
+
+// bestBalanced picks the run minimizing the equal-weight fractional regret
+// from the per-objective optima — the observed analogue of Eq. 7.
+func bestBalanced(all []trace.Metrics) trace.Metrics {
+	bestS, bestE := all[0].TotalService, all[0].ExpenseUSD
+	for _, m := range all[1:] {
+		if m.TotalService < bestS {
+			bestS = m.TotalService
+		}
+		if m.ExpenseUSD < bestE {
+			bestE = m.ExpenseUSD
+		}
+	}
+	best := all[0]
+	bestVal := regret(all[0], bestS, bestE)
+	for _, m := range all[1:] {
+		if v := regret(m, bestS, bestE); v < bestVal {
+			best, bestVal = m, v
+		}
+	}
+	return best
+}
+
+func regret(m trace.Metrics, bestS, bestE float64) float64 {
+	return 0.5*(m.TotalService-bestS)/bestS + 0.5*(m.ExpenseUSD-bestE)/bestE
+}

@@ -1,0 +1,74 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/stats"
+)
+
+// ModelConfidence carries bootstrap confidence intervals for every fitted
+// parameter — how much the profiling samples actually pin the models down,
+// the prior-side counterpart of the Sec. 2.4 χ² validation.
+type ModelConfidence struct {
+	Alpha     stats.CI
+	Intercept stats.CI
+	B1        stats.CI
+	B2        stats.CI
+	B3        stats.CI
+}
+
+// ConfidenceOptions tunes the bootstrap.
+type ConfidenceOptions struct {
+	// Iterations per fit; 0 means 300.
+	Iterations int
+	// Confidence level; 0 means 0.95.
+	Confidence float64
+	// Seed for the resampler.
+	Seed int64
+}
+
+// ConfidenceFor bootstraps both fits from their raw samples. mfuncGB must
+// match the value the ET fit used (it scales the abscissa).
+func ConfidenceFor(etSamples []ETSample, mfuncGB float64,
+	scSamples []ScalingSample, opts ConfidenceOptions) (ModelConfidence, error) {
+	if mfuncGB <= 0 {
+		return ModelConfidence{}, fmt.Errorf("core: non-positive Mfunc")
+	}
+	iters := opts.Iterations
+	if iters == 0 {
+		iters = 300
+	}
+	conf := opts.Confidence
+	if conf == 0 {
+		conf = 0.95
+	}
+
+	xs := make([]float64, len(etSamples))
+	ys := make([]float64, len(etSamples))
+	for i, s := range etSamples {
+		xs[i] = mfuncGB * float64(s.Degree)
+		ys[i] = s.ETSec
+	}
+	_, alphaCI, icptCI, err := stats.ExpFitBootstrap(xs, ys, iters, conf, opts.Seed)
+	if err != nil {
+		return ModelConfidence{}, fmt.Errorf("core: ET bootstrap: %w", err)
+	}
+
+	cxs := make([]float64, len(scSamples))
+	cys := make([]float64, len(scSamples))
+	for i, s := range scSamples {
+		cxs[i] = float64(s.Instances)
+		cys[i] = s.ScalingSec
+	}
+	_, cis, err := stats.PolyFitBootstrap(cxs, cys, 2, iters, conf, opts.Seed+1)
+	if err != nil {
+		return ModelConfidence{}, fmt.Errorf("core: scaling bootstrap: %w", err)
+	}
+	return ModelConfidence{
+		Alpha:     alphaCI,
+		Intercept: icptCI,
+		B1:        cis[2],
+		B2:        cis[1],
+		B3:        stats.CI{Lo: -cis[0].Hi, Hi: -cis[0].Lo}, // β3 = −c0
+	}, nil
+}

@@ -1,0 +1,91 @@
+package core
+
+import (
+	"math"
+	"testing"
+)
+
+func TestEstimateCrossDiscountRecovers(t *testing.T) {
+	apps := demoApps()
+	a, b := apps[0], apps[1]
+	const k = 4
+	for _, truth := range []float64{0, 0.1, 0.25, 0.5} {
+		// Synthesize the observation the ground truth would produce.
+		obs := PredictMixedET([]App{a, b}, []int{k, k}, truth)
+		got, err := EstimateCrossDiscount(a, b, k, obs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(got-truth) > 1e-9 {
+			t.Fatalf("truth %g: estimated %g", truth, got)
+		}
+	}
+}
+
+func TestEstimateCrossDiscountClamps(t *testing.T) {
+	apps := demoApps()
+	a, b := apps[0], apps[1]
+	// An observation slower than the undiscounted prediction clamps to 0.
+	slow := PredictMixedET([]App{a, b}, []int{4, 4}, 0) * 1.5
+	got, err := EstimateCrossDiscount(a, b, 4, slow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 0 {
+		t.Fatalf("slower-than-predicted should clamp to 0, got %g", got)
+	}
+	// An absurdly fast observation clamps to 1.
+	fast := 1e-6
+	got, err = EstimateCrossDiscount(a, b, 4, fast)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 1 {
+		t.Fatalf("implausibly fast observation should clamp to 1, got %g", got)
+	}
+}
+
+func TestEstimateCrossDiscountErrors(t *testing.T) {
+	apps := demoApps()
+	if _, err := EstimateCrossDiscount(apps[0], apps[1], 0, 100); err == nil {
+		t.Fatal("k=0 accepted")
+	}
+	if _, err := EstimateCrossDiscount(apps[0], apps[1], 4, -1); err == nil {
+		t.Fatal("negative observation accepted")
+	}
+}
+
+// TestDiscountTiltsPlannerTowardMixing: with a large cross discount the
+// planner should prefer cross-application bins for duration-matched apps;
+// with zero discount the compositions tie and segregation's finer
+// granularity wins.
+func TestDiscountTiltsPlannerTowardMixing(t *testing.T) {
+	// Two apps with identical solo times and memory but different pressure.
+	apps := []App{
+		{Name: "heavy", MemoryMB: 300, Count: 900,
+			ET: ETModel{MfuncGB: 300.0 / 1024, Alpha: 0.26, Intercept: math.Log(100) - 0.26*300.0/1024}},
+		{Name: "light", MemoryMB: 300, Count: 900,
+			ET: ETModel{MfuncGB: 300.0 / 1024, Alpha: 0.10, Intercept: math.Log(100) - 0.10*300.0/1024}},
+	}
+	opts := demoMixedOpts()
+	opts.Weights = ServiceOnly()
+
+	opts.CrossDiscount = 0.3
+	withDisc, err := PlanMixed(apps, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if withDisc.Strategy != "mixed" {
+		t.Fatalf("large discount should favour mixing, got %q", withDisc.Strategy)
+	}
+
+	opts.CrossDiscount = 0
+	noDisc, err := PlanMixed(apps, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if withDisc.PredictedServiceSec > noDisc.PredictedServiceSec {
+		t.Fatalf("discounted plan should predict no worse service: %g vs %g",
+			withDisc.PredictedServiceSec, noDisc.PredictedServiceSec)
+	}
+}

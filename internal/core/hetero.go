@@ -1,0 +1,416 @@
+package core
+
+import (
+	"fmt"
+	"math"
+)
+
+// Heterogeneous packing — the extension the paper sketches in Sec. 5
+// ("technically, it is possible to extend ProPack … packing functions of
+// different characteristics present new modeling challenges").
+//
+// The analytical extension reads Eq. 1 compositionally: fitting
+// ln ET = c + α·Mfunc·P says every co-resident function of this application
+// adds α·Mfunc to the instance's log execution time. For a mixed instance,
+// each resident application j contributes its own fitted α_j·M_j per
+// member, so a member of application i is predicted to finish at
+//
+//	ET_i = exp( c_i + α_i·M_i + Σ_{j resident, j≠i's slot} α_j·M_j )
+//
+// and the instance's wall time is the slowest member's. Everything needed
+// is already measured: the per-application Eq. 1 fits and the shared
+// platform scaling model.
+
+// App is one application participating in a heterogeneous job.
+type App struct {
+	// Name labels the app in plans and tables.
+	Name string
+	// MemoryMB is the per-function footprint (bounds bin capacity).
+	MemoryMB float64
+	// Count is the app's requested concurrency C_k.
+	Count int
+	// ET is the app's fitted Eq. 1 model.
+	ET ETModel
+}
+
+// Validate reports an error for malformed apps.
+func (a App) Validate() error {
+	switch {
+	case a.MemoryMB <= 0:
+		return fmt.Errorf("core: app %q: non-positive memory", a.Name)
+	case a.Count < 1:
+		return fmt.Errorf("core: app %q: count %d < 1", a.Name, a.Count)
+	case a.ET.MfuncGB <= 0:
+		return fmt.Errorf("core: app %q: missing ET model", a.Name)
+	}
+	return nil
+}
+
+// logPressure is the fitted per-member log-slowdown contribution of one
+// function of the app: α·Mfunc (in GB, matching the fit).
+func (a App) logPressure() float64 { return a.ET.Alpha * a.ET.MfuncGB }
+
+// PredictMixedET predicts the wall time of one instance hosting counts[k]
+// functions of apps[k]: the slowest member under the compositional Eq. 1
+// reading above, with cross-application pressure discounted by
+// crossDiscount (diverse threads interleave better; 0 means no benefit —
+// the conservative default when no pair probes were run). Instances with
+// no members predict 0.
+func PredictMixedET(apps []App, counts []int, crossDiscount float64) float64 {
+	var et float64
+	for k, n := range counts {
+		if n == 0 {
+			continue
+		}
+		// ln ET_k = intercept_k + own α_k·M_k + same-app co-residents at
+		// full pressure + other apps' residents discounted.
+		lnET := apps[k].ET.Intercept + apps[k].logPressure() +
+			float64(n-1)*apps[k].logPressure()
+		for j, m := range counts {
+			if j == k {
+				continue
+			}
+			lnET += float64(m) * apps[j].logPressure() * (1 - crossDiscount)
+		}
+		if v := math.Exp(lnET); v > et {
+			et = v
+		}
+	}
+	return et
+}
+
+// EstimateCrossDiscount inverts a mixed pair probe: observedET is the
+// measured wall time of one instance hosting k functions of a and k of b.
+// Comparing it against the undiscounted compositional prediction isolates
+// the cross-application discount. The result is clamped to [0, 1].
+func EstimateCrossDiscount(a, b App, k int, observedET float64) (float64, error) {
+	if k < 1 {
+		return 0, fmt.Errorf("core: pair probe needs k ≥ 1, have %d", k)
+	}
+	if observedET <= 0 {
+		return 0, fmt.Errorf("core: non-positive probe observation %g", observedET)
+	}
+	apps := []App{a, b}
+	counts := []int{k, k}
+	// The dominant member at zero discount stays dominant for any discount
+	// (discounts shrink everyone's cross term by the other app's pressure).
+	pred := PredictMixedET(apps, counts, 0)
+	if pred <= 0 {
+		return 0, fmt.Errorf("core: degenerate pair prediction")
+	}
+	// Identify the dominant member (it determines the observed wall time)
+	// and read the discount off its cross-pressure term.
+	other := b
+	if b.ET.Intercept+float64(k)*b.logPressure() >
+		a.ET.Intercept+float64(k)*a.logPressure() {
+		other = a
+	}
+	cross := float64(k) * other.logPressure()
+	if cross <= 0 {
+		return 0, fmt.Errorf("core: zero cross pressure, discount unidentifiable")
+	}
+	disc := (math.Log(pred) - math.Log(observedET)) / cross
+	if disc < 0 {
+		disc = 0
+	}
+	if disc > 1 {
+		disc = 1
+	}
+	return disc, nil
+}
+
+// MixedPlan is the heterogeneous packing recommendation: BinCounts[b][k] is
+// how many functions of apps[k] instance b hosts.
+type MixedPlan struct {
+	Apps      []App
+	BinCounts [][]int
+	// Strategy records which composition won: "mixed" (cross-application
+	// bins) or "segregated" (per-application bins at per-app degrees).
+	Strategy string
+	// Model predictions for the plan.
+	PredictedServiceSec float64
+	PredictedExpenseUSD float64
+}
+
+// Instances is the number of function instances the plan spawns.
+func (p MixedPlan) Instances() int { return len(p.BinCounts) }
+
+// MixedPlanOptions configures PlanMixed.
+type MixedPlanOptions struct {
+	// InstanceMemoryMB is the platform's instance memory (bins must fit).
+	InstanceMemoryMB float64
+	// MaxExecSec is the platform's execution-time limit.
+	MaxExecSec float64
+	// Weights are the Eq. 7 objective weights.
+	Weights Weights
+	// Scaling is the platform's fitted Eq. 2 model.
+	Scaling ScalingModel
+	// RatePerInstanceSec is R (dollars per instance-second).
+	RatePerInstanceSec float64
+	// CrossDiscount is the estimated cross-application contention discount
+	// (from EstimateCrossDiscount pair probes); 0 is the conservative
+	// default.
+	CrossDiscount float64
+}
+
+// heteroCandidate is one packing composition under evaluation.
+type heteroCandidate struct {
+	strategy   string
+	build      func() [][]int // materialize bins only for the winner
+	serviceSec float64
+	expenseUSD float64
+}
+
+// PlanMixed chooses the packing composition for a heterogeneous job from
+// two candidate families and picks the Eq. 7 weighted-regret winner:
+//
+//   - "mixed": each app's functions dealt round-robin across B bins for
+//     every feasible B (balanced cross-application bins — compute-bound
+//     members get lighter neighbours, which shrinks the slowest bin);
+//   - "segregated": per-application bins at every combination of per-app
+//     degrees (the stock-ProPack shape — cheap when the apps' solo
+//     durations differ widely, because short functions then never ride
+//     inside long instances and pay for their wall time).
+//
+// Both families share the platform scaling model through the joint
+// instance count, which is what couples the applications in the first
+// place.
+func PlanMixed(apps []App, opts MixedPlanOptions) (MixedPlan, error) {
+	if len(apps) == 0 {
+		return MixedPlan{}, fmt.Errorf("core: no apps to plan")
+	}
+	for _, a := range apps {
+		if err := a.Validate(); err != nil {
+			return MixedPlan{}, err
+		}
+	}
+	if err := opts.Weights.Validate(); err != nil {
+		return MixedPlan{}, err
+	}
+	if opts.InstanceMemoryMB <= 0 || opts.MaxExecSec <= 0 || opts.RatePerInstanceSec < 0 ||
+		opts.CrossDiscount < 0 || opts.CrossDiscount > 1 {
+		return MixedPlan{}, fmt.Errorf("core: invalid mixed-plan options %+v", opts)
+	}
+
+	cands := mixedCandidates(apps, opts)
+	cands = append(cands, segregatedCandidates(apps, opts)...)
+	if len(cands) == 0 {
+		return MixedPlan{}, fmt.Errorf("core: no feasible heterogeneous packing (memory or latency bound)")
+	}
+
+	bestS, bestE := math.Inf(1), math.Inf(1)
+	for _, c := range cands {
+		bestS = math.Min(bestS, c.serviceSec)
+		bestE = math.Min(bestE, c.expenseUSD)
+	}
+	var best heteroCandidate
+	bestVal := math.Inf(1)
+	for _, c := range cands {
+		v := opts.Weights.Service*(c.serviceSec-bestS)/bestS +
+			opts.Weights.Expense*(c.expenseUSD-bestE)/bestE
+		if v < bestVal {
+			best, bestVal = c, v
+		}
+	}
+	return MixedPlan{
+		Apps:                apps,
+		BinCounts:           best.build(),
+		Strategy:            best.strategy,
+		PredictedServiceSec: best.serviceSec,
+		PredictedExpenseUSD: best.expenseUSD,
+	}, nil
+}
+
+// mixedCandidates evaluates the proportional cross-application composition
+// at every feasible instance count.
+func mixedCandidates(apps []App, opts MixedPlanOptions) []heteroCandidate {
+	totalFuncs := 0
+	var totalMem float64
+	for _, a := range apps {
+		totalFuncs += a.Count
+		totalMem += float64(a.Count) * a.MemoryMB
+	}
+	minBins := int(math.Ceil(totalMem / opts.InstanceMemoryMB))
+	if minBins < 1 {
+		minBins = 1
+	}
+	var cands []heteroCandidate
+	for b := minBins; b <= totalFuncs; b++ {
+		b := b
+		counts := dealCounts(apps, b)
+		feasible := true
+		var maxET, sumET float64
+		for _, binCounts := range counts {
+			var mem float64
+			for k, n := range binCounts {
+				mem += float64(n) * apps[k].MemoryMB
+			}
+			if mem > opts.InstanceMemoryMB {
+				feasible = false
+				break
+			}
+			et := PredictMixedET(apps, binCounts, opts.CrossDiscount)
+			if et > opts.MaxExecSec {
+				feasible = false
+				break
+			}
+			sumET += et
+			if et > maxET {
+				maxET = et
+			}
+		}
+		if !feasible {
+			continue
+		}
+		cands = append(cands, heteroCandidate{
+			strategy:   "mixed",
+			build:      func() [][]int { return dealCounts(apps, b) },
+			serviceSec: maxET + opts.Scaling.At(float64(b)),
+			expenseUSD: sumET * opts.RatePerInstanceSec,
+		})
+	}
+	return cands
+}
+
+// segregatedCandidates evaluates per-application bins over every
+// combination of per-app packing degrees (bounded by memory and the
+// execution limit). The joint instance count couples the apps through the
+// scaling model.
+func segregatedCandidates(apps []App, opts MixedPlanOptions) []heteroCandidate {
+	// Feasible degrees per app.
+	maxDegs := make([]int, len(apps))
+	for k, a := range apps {
+		md := int(opts.InstanceMemoryMB / a.MemoryMB)
+		for md > 1 && a.ET.At(md) > opts.MaxExecSec {
+			md--
+		}
+		if md < 1 {
+			return nil // this app cannot run at all
+		}
+		maxDegs[k] = md
+	}
+	var cands []heteroCandidate
+	degrees := make([]int, len(apps))
+	var walk func(k int)
+	walk = func(k int) {
+		if k == len(apps) {
+			bins := 0
+			var maxET, sumET float64
+			for i, a := range apps {
+				d := degrees[i]
+				n := (a.Count + d - 1) / d
+				bins += n
+				et := a.ET.At(d)
+				// The last bin of the app may be partial; approximate its
+				// ET with the full-degree value (pessimistic by ≤ one bin).
+				sumET += float64(n) * et
+				if et > maxET {
+					maxET = et
+				}
+			}
+			chosen := append([]int(nil), degrees...)
+			cands = append(cands, heteroCandidate{
+				strategy:   "segregated",
+				build:      func() [][]int { return segregatedBins(apps, chosen) },
+				serviceSec: maxET + opts.Scaling.At(float64(bins)),
+				expenseUSD: sumET * opts.RatePerInstanceSec,
+			})
+			return
+		}
+		for d := 1; d <= maxDegs[k]; d++ {
+			degrees[k] = d
+			walk(k + 1)
+		}
+	}
+	// Keep the combinatorial walk bounded: with more than 3 apps, fix each
+	// app's degree to its own single-app optimum instead of sweeping.
+	combos := 1
+	for _, md := range maxDegs {
+		combos *= md
+		if combos > 200000 {
+			break
+		}
+	}
+	if combos > 200000 {
+		for k, a := range apps {
+			degrees[k] = bestSoloDegree(a, maxDegs[k], opts)
+		}
+		walkOnce := degrees
+		chosen := append([]int(nil), walkOnce...)
+		bins := 0
+		var maxET, sumET float64
+		for i, a := range apps {
+			d := chosen[i]
+			n := (a.Count + d - 1) / d
+			bins += n
+			et := a.ET.At(d)
+			sumET += float64(n) * et
+			if et > maxET {
+				maxET = et
+			}
+		}
+		return []heteroCandidate{{
+			strategy:   "segregated",
+			build:      func() [][]int { return segregatedBins(apps, chosen) },
+			serviceSec: maxET + opts.Scaling.At(float64(bins)),
+			expenseUSD: sumET * opts.RatePerInstanceSec,
+		}}
+	}
+	walk(0)
+	return cands
+}
+
+// bestSoloDegree picks an app's degree by its own Eq. 7 objective, ignoring
+// the other apps (used only to bound the combinatorial walk).
+func bestSoloDegree(a App, maxDeg int, opts MixedPlanOptions) int {
+	m := Models{ET: a.ET, Scaling: opts.Scaling, RatePerInstanceSec: opts.RatePerInstanceSec, MaxDegree: maxDeg}
+	deg, err := m.OptimalDegree(a.Count, opts.Weights)
+	if err != nil {
+		return 1
+	}
+	return deg
+}
+
+// segregatedBins materializes per-application bins at the given degrees.
+func segregatedBins(apps []App, degrees []int) [][]int {
+	var bins [][]int
+	for k, a := range apps {
+		remaining := a.Count
+		for remaining > 0 {
+			n := degrees[k]
+			if remaining < n {
+				n = remaining
+			}
+			counts := make([]int, len(apps))
+			counts[k] = n
+			bins = append(bins, counts)
+			remaining -= n
+		}
+	}
+	return bins
+}
+
+// dealCounts distributes each app's Count functions round-robin across b
+// bins: bin i gets ceil or floor of Count/b, never differing by more than
+// one within an app. Each app's "+1" remainder bins start where the
+// previous app's ended, so remainders spread instead of piling onto the
+// first bins (which would leave later bins empty).
+func dealCounts(apps []App, b int) [][]int {
+	counts := make([][]int, b)
+	for i := range counts {
+		counts[i] = make([]int, len(apps))
+	}
+	offset := 0
+	for k, a := range apps {
+		base := a.Count / b
+		extra := a.Count % b
+		for i := 0; i < b; i++ {
+			counts[i][k] = base
+			if (i-offset+b)%b < extra {
+				counts[i][k]++
+			}
+		}
+		offset = (offset + extra) % b
+	}
+	return counts
+}

@@ -1,0 +1,148 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/stats"
+)
+
+// Weights are the objective weights of Eq. 7: W_S on service time, W_E on
+// expense. They must be in [0,1] and sum to 1.
+type Weights struct {
+	Service float64
+	Expense float64
+}
+
+// Balanced is the paper's default: equal importance to both objectives.
+func Balanced() Weights { return Weights{Service: 0.5, Expense: 0.5} }
+
+// ServiceOnly optimizes service time alone ("ProPack (Service Time)").
+func ServiceOnly() Weights { return Weights{Service: 1, Expense: 0} }
+
+// ExpenseOnly optimizes expense alone ("ProPack (Expense)").
+func ExpenseOnly() Weights { return Weights{Service: 0, Expense: 1} }
+
+// Validate reports an error for malformed weights.
+func (w Weights) Validate() error {
+	const eps = 1e-9
+	if w.Service < -eps || w.Service > 1+eps || w.Expense < -eps || w.Expense > 1+eps {
+		return fmt.Errorf("core: weights outside [0,1]: %+v", w)
+	}
+	if s := w.Service + w.Expense; s < 1-1e-6 || s > 1+1e-6 {
+		return fmt.Errorf("core: weights must sum to 1, got %g", s)
+	}
+	return nil
+}
+
+// OptimalDegreeService is Eq. 3: the packing degree minimizing modeled
+// total service time at concurrency c.
+func (m Models) OptimalDegreeService(c int) int {
+	return stats.ArgminInt(1, m.MaxDegree, func(p int) float64 { return m.ServiceTime(c, p) })
+}
+
+// OptimalDegreeExpense is Eq. 4: the packing degree minimizing modeled
+// expense at concurrency c.
+func (m Models) OptimalDegreeExpense(c int) int {
+	return stats.ArgminInt(1, m.MaxDegree, func(p int) float64 { return m.Expense(c, p) })
+}
+
+// OptimalDegree is Eq. 7: the packing degree minimizing the weighted sum of
+// fractional regrets from the two single-objective optima (Eqs. 5–6).
+func (m Models) OptimalDegree(c int, w Weights) (int, error) {
+	return m.OptimalDegreeForQuantile(c, 100, w)
+}
+
+// OptimalDegreeForQuantile is Eq. 7 with the service objective replaced by
+// the q-th percentile service time — ProPack "predicts different packing
+// degrees that jointly minimize total, tail, and median service times"
+// (Sec. 3); q=100 is the total, 95 the tail, 50 the median.
+func (m Models) OptimalDegreeForQuantile(c int, q float64, w Weights) (int, error) {
+	if err := m.Validate(); err != nil {
+		return 0, err
+	}
+	if err := w.Validate(); err != nil {
+		return 0, err
+	}
+	if c < 1 {
+		return 0, fmt.Errorf("core: concurrency %d < 1", c)
+	}
+	if q <= 0 || q > 100 {
+		return 0, fmt.Errorf("core: quantile %g outside (0,100]", q)
+	}
+	service := func(p int) float64 { return m.ServiceTimeQuantile(c, p, q) }
+	bestS := service(stats.ArgminInt(1, m.MaxDegree, service)) // S(P_opt_s)
+	bestE := m.Expense(c, m.OptimalDegreeExpense(c))           // E(P_opt_e)
+	return stats.ArgminInt(1, m.MaxDegree, func(p int) float64 {
+		dS := (service(p) - bestS) / bestS      // Eq. 5
+		dE := (m.Expense(c, p) - bestE) / bestE // Eq. 6
+		return w.Service*dS + w.Expense*dE      // Eq. 7 argument
+	}), nil
+}
+
+// OptimalDegreeConstrained is Eq. 7 restricted to packing degrees whose
+// instance count stays within maxInstances — planning against an
+// account-level concurrency limit so the burst never throttles.
+// maxInstances ≤ 0 means unconstrained. It returns an error if even the
+// maximum degree spawns too many instances.
+func (m Models) OptimalDegreeConstrained(c int, w Weights, maxInstances int) (int, error) {
+	if maxInstances <= 0 {
+		return m.OptimalDegree(c, w)
+	}
+	minDegree := (c + maxInstances - 1) / maxInstances
+	if minDegree > m.MaxDegree {
+		return 0, fmt.Errorf("core: concurrency %d cannot fit %d instances even at degree %d",
+			c, maxInstances, m.MaxDegree)
+	}
+	if err := m.Validate(); err != nil {
+		return 0, err
+	}
+	if err := w.Validate(); err != nil {
+		return 0, err
+	}
+	bestS := math.Inf(1)
+	bestE := math.Inf(1)
+	for p := minDegree; p <= m.MaxDegree; p++ {
+		bestS = math.Min(bestS, m.ServiceTime(c, p))
+		bestE = math.Min(bestE, m.Expense(c, p))
+	}
+	best, bestVal := minDegree, math.Inf(1)
+	for p := minDegree; p <= m.MaxDegree; p++ {
+		v := w.Service*(m.ServiceTime(c, p)-bestS)/bestS + w.Expense*(m.Expense(c, p)-bestE)/bestE
+		if v < bestVal {
+			best, bestVal = p, v
+		}
+	}
+	return best, nil
+}
+
+// Plan is ProPack's recommendation for running an application at a
+// concurrency level.
+type Plan struct {
+	Concurrency int
+	Degree      int
+	Weights     Weights
+	// Model predictions for the recommended degree.
+	PredictedServiceSec float64
+	PredictedExpenseUSD float64
+	// Model predictions for the no-packing baseline, for reference.
+	BaselineServiceSec float64
+	BaselineExpenseUSD float64
+}
+
+// PlanFor computes the full recommendation at concurrency c.
+func (m Models) PlanFor(c int, w Weights) (Plan, error) {
+	deg, err := m.OptimalDegree(c, w)
+	if err != nil {
+		return Plan{}, err
+	}
+	return Plan{
+		Concurrency:         c,
+		Degree:              deg,
+		Weights:             w,
+		PredictedServiceSec: m.ServiceTime(c, deg),
+		PredictedExpenseUSD: m.Expense(c, deg),
+		BaselineServiceSec:  m.ServiceTime(c, 1),
+		BaselineExpenseUSD:  m.Expense(c, 1),
+	}, nil
+}

@@ -1,0 +1,253 @@
+package core
+
+import (
+	"math"
+	"testing"
+)
+
+func TestWeightsValidate(t *testing.T) {
+	for _, w := range []Weights{Balanced(), ServiceOnly(), ExpenseOnly(), {0.65, 0.35}} {
+		if err := w.Validate(); err != nil {
+			t.Fatalf("%+v: %v", w, err)
+		}
+	}
+	bads := []Weights{{0.5, 0.6}, {-0.1, 1.1}, {1.2, -0.2}, {0, 0}}
+	for _, w := range bads {
+		if w.Validate() == nil {
+			t.Fatalf("bad weights accepted: %+v", w)
+		}
+	}
+}
+
+func TestOptimalDegreeBruteForceAgreement(t *testing.T) {
+	m := synthModels()
+	for _, c := range []int{500, 1000, 2000, 5000} {
+		// Brute-force Eq. 3 and Eq. 4 directly.
+		bruteS, bruteSVal := 1, math.Inf(1)
+		bruteE, bruteEVal := 1, math.Inf(1)
+		for p := 1; p <= m.MaxDegree; p++ {
+			if s := m.ServiceTime(c, p); s < bruteSVal {
+				bruteS, bruteSVal = p, s
+			}
+			if e := m.Expense(c, p); e < bruteEVal {
+				bruteE, bruteEVal = p, e
+			}
+		}
+		if got := m.OptimalDegreeService(c); got != bruteS {
+			t.Fatalf("C=%d: service degree %d, brute force %d", c, got, bruteS)
+		}
+		if got := m.OptimalDegreeExpense(c); got != bruteE {
+			t.Fatalf("C=%d: expense degree %d, brute force %d", c, got, bruteE)
+		}
+	}
+}
+
+func TestOptimalDegreeIncreasesWithConcurrency(t *testing.T) {
+	// Paper Fig. 8 observation (1): higher concurrency → higher packing
+	// degree, because scaling time grows faster than packing cost.
+	m := synthModels()
+	prev := 0
+	for _, c := range []int{500, 1000, 2000, 5000} {
+		deg, err := m.OptimalDegree(c, Balanced())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if deg < prev {
+			t.Fatalf("optimal degree decreased with concurrency: %d at C=%d after %d", deg, c, prev)
+		}
+		prev = deg
+	}
+	if prev <= 1 {
+		t.Fatal("optimal degree at C=5000 should exceed 1")
+	}
+}
+
+func TestJointDegreeBetweenSingleObjectiveOptima(t *testing.T) {
+	// Paper Fig. 15 observation: the joint optimum falls between the
+	// service-only and expense-only optima.
+	m := synthModels()
+	c := 5000
+	ds := m.OptimalDegreeService(c)
+	de := m.OptimalDegreeExpense(c)
+	dj, err := m.OptimalDegree(c, Balanced())
+	if err != nil {
+		t.Fatal(err)
+	}
+	lo, hi := ds, de
+	if lo > hi {
+		lo, hi = hi, lo
+	}
+	if dj < lo || dj > hi {
+		t.Fatalf("joint degree %d outside [%d, %d]", dj, lo, hi)
+	}
+}
+
+func TestWeightExtremesMatchSingleObjectives(t *testing.T) {
+	m := synthModels()
+	c := 3000
+	dj, err := m.OptimalDegree(c, ServiceOnly())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dj != m.OptimalDegreeService(c) {
+		t.Fatalf("W_S=1 gave %d, service-only optimum is %d", dj, m.OptimalDegreeService(c))
+	}
+	dj, err = m.OptimalDegree(c, ExpenseOnly())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dj != m.OptimalDegreeExpense(c) {
+		t.Fatalf("W_E=1 gave %d, expense-only optimum is %d", dj, m.OptimalDegreeExpense(c))
+	}
+}
+
+func TestOptimalDegreeErrors(t *testing.T) {
+	m := synthModels()
+	if _, err := m.OptimalDegree(0, Balanced()); err == nil {
+		t.Fatal("C=0 accepted")
+	}
+	if _, err := m.OptimalDegree(100, Weights{0.9, 0.9}); err == nil {
+		t.Fatal("bad weights accepted")
+	}
+	bad := m
+	bad.MaxDegree = 0
+	if _, err := bad.OptimalDegree(100, Balanced()); err == nil {
+		t.Fatal("invalid models accepted")
+	}
+}
+
+func TestPlanFor(t *testing.T) {
+	m := synthModels()
+	plan, err := m.PlanFor(5000, Balanced())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Degree < 1 || plan.Degree > m.MaxDegree {
+		t.Fatalf("degree %d out of range", plan.Degree)
+	}
+	if plan.PredictedServiceSec >= plan.BaselineServiceSec {
+		t.Fatal("plan should beat the baseline on service time at high concurrency")
+	}
+	if plan.PredictedExpenseUSD >= plan.BaselineExpenseUSD {
+		t.Fatal("plan should beat the baseline on expense at high concurrency")
+	}
+}
+
+func TestQoSWeightSearch(t *testing.T) {
+	m := synthModels()
+	c := 5000
+	// An achievable bound: slightly above the best possible tail.
+	bestTail, err := m.TailServiceAt(c, ServiceOnly(), 95)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loosest, err := m.TailServiceAt(c, ExpenseOnly(), 95)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bestTail > loosest {
+		t.Fatalf("service-only tail %g should not exceed expense-only tail %g", bestTail, loosest)
+	}
+	bound := bestTail*0.3 + loosest*0.7
+	w, err := m.QoSWeights(c, bound, QoSOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts, err := m.TailServiceAt(c, w, 95)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ts > bound {
+		t.Fatalf("selected weights violate the bound: %g > %g", ts, bound)
+	}
+	// Minimality: a step lower on W_S must violate the bound (unless W_S=0).
+	if w.Service > 0 {
+		lower := Weights{Service: w.Service - 0.05, Expense: 1 - (w.Service - 0.05)}
+		if lower.Service >= 0 {
+			ts2, err := m.TailServiceAt(c, lower, 95)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if ts2 <= bound {
+				t.Fatalf("W_S=%g not minimal: %g also satisfies bound %g", w.Service, ts2, bound)
+			}
+		}
+	}
+}
+
+func TestQoSInfeasible(t *testing.T) {
+	m := synthModels()
+	_, err := m.QoSWeights(5000, 1e-6, QoSOptions{})
+	if err == nil {
+		t.Fatal("impossible bound accepted")
+	}
+}
+
+func TestQoSValidation(t *testing.T) {
+	m := synthModels()
+	if _, err := m.QoSWeights(100, 0, QoSOptions{}); err == nil {
+		t.Fatal("zero bound accepted")
+	}
+	if _, err := m.QoSWeights(100, 10, QoSOptions{TailQuantile: 120}); err == nil {
+		t.Fatal("quantile >100 accepted")
+	}
+	if _, err := m.QoSWeights(100, 10, QoSOptions{Step: -1}); err == nil {
+		t.Fatal("negative step accepted")
+	}
+}
+
+func TestQoSPlanMeetsBound(t *testing.T) {
+	m := synthModels()
+	c := 2000
+	loosest, err := m.TailServiceAt(c, ExpenseOnly(), 95)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, w, err := m.QoSPlan(c, loosest, QoSOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Service != 0 {
+		t.Fatalf("loosest bound should need no service weight, got %g", w.Service)
+	}
+	if plan.Degree != m.OptimalDegreeExpense(c) {
+		t.Fatalf("plan degree %d, want expense optimum %d", plan.Degree, m.OptimalDegreeExpense(c))
+	}
+}
+
+func TestOptimalDegreeConstrained(t *testing.T) {
+	m := synthModels()
+	const c = 5000
+	unconstrained, err := m.OptimalDegree(c, Balanced())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// No limit (or a generous one) reproduces the unconstrained choice.
+	got, err := m.OptimalDegreeConstrained(c, Balanced(), 0)
+	if err != nil || got != unconstrained {
+		t.Fatalf("unlimited: got %d (%v), want %d", got, err, unconstrained)
+	}
+	got, err = m.OptimalDegreeConstrained(c, Balanced(), c)
+	if err != nil || got != unconstrained {
+		t.Fatalf("generous limit: got %d (%v), want %d", got, err, unconstrained)
+	}
+	// A tight limit forces a deeper degree that respects it.
+	const limit = 150
+	got, err = m.OptimalDegreeConstrained(c, Balanced(), limit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if instances := (c + got - 1) / got; instances > limit {
+		t.Fatalf("degree %d spawns %d instances > limit %d", got, instances, limit)
+	}
+	if got <= unconstrained {
+		t.Fatalf("tight limit should force deeper packing: %d vs %d", got, unconstrained)
+	}
+	// An impossible limit errors.
+	if _, err := m.OptimalDegreeConstrained(c, Balanced(), 10); err == nil {
+		t.Fatal("infeasible limit accepted")
+	}
+	if _, err := m.OptimalDegreeConstrained(c, Weights{2, -1}, limit); err == nil {
+		t.Fatal("bad weights accepted")
+	}
+}

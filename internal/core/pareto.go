@@ -1,0 +1,53 @@
+package core
+
+import "fmt"
+
+// ParetoPoint is one packing degree's predicted position in the
+// (service time, expense) plane.
+type ParetoPoint struct {
+	Degree     int
+	ServiceSec float64
+	ExpenseUSD float64
+}
+
+// ParetoFrontier returns the non-dominated packing degrees at concurrency
+// c, in increasing degree order: every returned point is strictly better
+// than every other candidate on at least one objective. The two
+// single-objective optima always appear, and every Eq. 7 weighting's
+// optimum lies on the frontier — it is the whole menu of defensible
+// choices, useful for surfacing the trade-off to users instead of a single
+// number.
+func (m Models) ParetoFrontier(c int) ([]ParetoPoint, error) {
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	if c < 1 {
+		return nil, fmt.Errorf("core: concurrency %d < 1", c)
+	}
+	points := make([]ParetoPoint, 0, m.MaxDegree)
+	for p := 1; p <= m.MaxDegree; p++ {
+		points = append(points, ParetoPoint{
+			Degree:     p,
+			ServiceSec: m.ServiceTime(c, p),
+			ExpenseUSD: m.Expense(c, p),
+		})
+	}
+	var frontier []ParetoPoint
+	for i, cand := range points {
+		dominated := false
+		for j, other := range points {
+			if i == j {
+				continue
+			}
+			if other.ServiceSec <= cand.ServiceSec && other.ExpenseUSD <= cand.ExpenseUSD &&
+				(other.ServiceSec < cand.ServiceSec || other.ExpenseUSD < cand.ExpenseUSD) {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			frontier = append(frontier, cand)
+		}
+	}
+	return frontier, nil
+}

@@ -1,0 +1,213 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrDegreeInfeasible is returned by a Measurer when a probe at some
+// packing degree cannot run at all (e.g. it would exceed the platform's
+// execution-time limit). BuildModels treats it as a discovered latency cap:
+// P_max^deg is lowered to the last feasible degree (Sec. 2.1's "configured
+// to be constrained at a degree lower than M_platform/M_func").
+var ErrDegreeInfeasible = errors.New("core: packing degree infeasible on platform")
+
+// Measurer is the only window ProPack has onto a platform: it can run one
+// packed instance and time it, and it can spawn an application-independent
+// burst of empty instances and time the scaling. Adapters exist for the
+// datacenter simulator (SimMeasurer) and for live local execution
+// (workload.RunPacked in the examples).
+type Measurer interface {
+	// MeasureExec runs a single function instance packed at the given
+	// degree (at trivial concurrency) and returns its execution time in
+	// seconds.
+	MeasureExec(degree int) (float64, error)
+	// MeasureScaling spawns `instances` concurrent no-op instances and
+	// returns the scaling time in seconds. No application code runs.
+	MeasureScaling(instances int) (float64, error)
+}
+
+// CostMeasurer is implemented by measurers that can also report the
+// non-compute bill (request + networking fees) of the last MeasureExec
+// probe. BuildModels uses it to fit the StorageModel; measurers without it
+// get a zero storage term.
+type CostMeasurer interface {
+	// LastProbeStorageUSD is the non-compute cost of the most recent
+	// MeasureExec run.
+	LastProbeStorageUSD() float64
+}
+
+// Overhead accounts for the resources ProPack itself consumed while
+// building its models. The paper includes this overhead in all reported
+// results (Sec. 2.1, Sec. 4); experiment drivers here do the same.
+type Overhead struct {
+	// ExecProbeSec is the summed execution time of interference probes.
+	ExecProbeSec float64
+	// ExecProbeUSD is the bill for those probes.
+	ExecProbeUSD float64
+	// ScalingProbeSec is the summed scaling time of the platform probes —
+	// paid once per platform and amortized over every application run on it.
+	ScalingProbeSec float64
+	// ScalingProbeUSD is the bill for the scaling probes (no-op functions:
+	// the per-request fees plus a minimal execution sliver).
+	ScalingProbeUSD float64
+}
+
+// Add accumulates o2 into o.
+func (o *Overhead) Add(o2 Overhead) {
+	o.ExecProbeSec += o2.ExecProbeSec
+	o.ExecProbeUSD += o2.ExecProbeUSD
+	o.ScalingProbeSec += o2.ScalingProbeSec
+	o.ScalingProbeUSD += o2.ScalingProbeUSD
+}
+
+// TotalUSD is the full modeling bill.
+func (o Overhead) TotalUSD() float64 { return o.ExecProbeUSD + o.ScalingProbeUSD }
+
+// SampleDegrees returns the packing degrees the interference profiler
+// evaluates: every other degree starting at 1 (the curve is monotone, so
+// alternate points suffice — Sec. 2.1). For the paper's maximum degrees of
+// 40, 15, and 30 this yields exactly the 20, 8, and 15 sample points the
+// paper reports for Video, Sort, and Stateless Cost.
+func SampleDegrees(maxDegree int) []int {
+	if maxDegree < 1 {
+		return nil
+	}
+	var ds []int
+	for d := 1; d <= maxDegree; d += 2 {
+		ds = append(ds, d)
+	}
+	return ds
+}
+
+// ProfileOptions configures model building.
+type ProfileOptions struct {
+	// MaxDegree is P_max^deg; required, ≥ 1.
+	MaxDegree int
+	// MfuncGB is the single-function memory footprint in GB; required.
+	MfuncGB float64
+	// RatePerInstanceSec is R (dollars per instance-second); required for
+	// expense modeling.
+	RatePerInstanceSec float64
+	// ScalingProbes are the concurrency levels of the platform probe. The
+	// paper needs "ten or fewer samples"; nil means DefaultScalingProbes.
+	ScalingProbes []int
+	// FitET selects the Eq. 1 variant.
+	FitET FitETOptions
+	// FullSweep disables alternate-point skipping and profiles every
+	// degree (used by the sampling ablation).
+	FullSweep bool
+	// Trials is how many times each packing degree is measured and
+	// averaged (the paper pre-runs a function "a few times"). Zero means 3.
+	Trials int
+}
+
+// DefaultScalingProbes are the concurrency levels used to fit Eq. 2: nine
+// points spanning the operating range.
+func DefaultScalingProbes() []int {
+	return []int{100, 250, 500, 1000, 1500, 2000, 3000, 4000, 5000}
+}
+
+// BuildModels runs ProPack's full modeling pipeline against a platform:
+// interference probes at alternate packing degrees, scaling probes at the
+// configured concurrency levels, then the Eq. 1 and Eq. 2 fits. It returns
+// the models, the raw samples (for validation and plots), and the overhead
+// incurred.
+func BuildModels(meas Measurer, opts ProfileOptions) (Models, []ETSample, []ScalingSample, Overhead, error) {
+	var ov Overhead
+	if opts.MaxDegree < 1 {
+		return Models{}, nil, nil, ov, fmt.Errorf("core: profile needs MaxDegree ≥ 1, have %d", opts.MaxDegree)
+	}
+	if opts.MfuncGB <= 0 {
+		return Models{}, nil, nil, ov, fmt.Errorf("core: profile needs MfuncGB > 0, have %g", opts.MfuncGB)
+	}
+	if opts.RatePerInstanceSec < 0 {
+		return Models{}, nil, nil, ov, fmt.Errorf("core: negative expense rate")
+	}
+
+	degrees := SampleDegrees(opts.MaxDegree)
+	if opts.FullSweep {
+		degrees = degrees[:0]
+		for d := 1; d <= opts.MaxDegree; d++ {
+			degrees = append(degrees, d)
+		}
+	}
+	trials := opts.Trials
+	if trials == 0 {
+		trials = 3
+	}
+	if trials < 1 {
+		return Models{}, nil, nil, ov, fmt.Errorf("core: probe trials must be ≥1, have %d", trials)
+	}
+	costMeas, hasCost := meas.(CostMeasurer)
+	etSamples := make([]ETSample, 0, len(degrees))
+	costSamples := make([]CostSample, 0, len(degrees))
+	maxFeasible := opts.MaxDegree
+probing:
+	for _, d := range degrees {
+		var sum, costSum float64
+		for t := 0; t < trials; t++ {
+			et, err := meas.MeasureExec(d)
+			if errors.Is(err, ErrDegreeInfeasible) {
+				// The platform's execution limit caps the packing degree
+				// below the memory bound; probing is monotone, so stop.
+				maxFeasible = d - 1
+				break probing
+			}
+			if err != nil {
+				return Models{}, nil, nil, ov, fmt.Errorf("core: interference probe at degree %d: %w", d, err)
+			}
+			sum += et
+			ov.ExecProbeSec += et
+			ov.ExecProbeUSD += et * opts.RatePerInstanceSec
+			if hasCost {
+				storage := costMeas.LastProbeStorageUSD()
+				costSum += storage
+				ov.ExecProbeUSD += storage
+			}
+		}
+		etSamples = append(etSamples, ETSample{Degree: d, ETSec: sum / float64(trials)})
+		if hasCost {
+			costSamples = append(costSamples, CostSample{Degree: d, StorageUSD: costSum / float64(trials)})
+		}
+	}
+	if maxFeasible < 1 {
+		return Models{}, nil, nil, ov, fmt.Errorf("core: application infeasible even unpacked: %w", ErrDegreeInfeasible)
+	}
+	etModel, err := FitET(etSamples, opts.MfuncGB, opts.FitET)
+	if err != nil {
+		return Models{}, nil, nil, ov, err
+	}
+
+	probes := opts.ScalingProbes
+	if probes == nil {
+		probes = DefaultScalingProbes()
+	}
+	scSamples := make([]ScalingSample, 0, len(probes))
+	for _, c := range probes {
+		st, err := meas.MeasureScaling(c)
+		if err != nil {
+			return Models{}, nil, nil, ov, fmt.Errorf("core: scaling probe at %d instances: %w", c, err)
+		}
+		scSamples = append(scSamples, ScalingSample{Instances: c, ScalingSec: st})
+		ov.ScalingProbeSec += st
+		// No-op probe functions still pay per-request and a 100 ms sliver.
+		ov.ScalingProbeUSD += float64(c) * (0.1*opts.RatePerInstanceSec + 2e-7)
+	}
+	scModel, err := FitScaling(scSamples)
+	if err != nil {
+		return Models{}, nil, nil, ov, err
+	}
+
+	storageModel, err := FitStorage(costSamples)
+	if err != nil {
+		return Models{}, nil, nil, ov, err
+	}
+	return Models{
+		ET:                 etModel,
+		Scaling:            scModel,
+		Storage:            storageModel,
+		RatePerInstanceSec: opts.RatePerInstanceSec,
+		MaxDegree:          maxFeasible,
+	}, etSamples, scSamples, ov, nil
+}

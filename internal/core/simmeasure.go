@@ -1,0 +1,83 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/interfere"
+	"repro/internal/platform"
+)
+
+// SimMeasurer adapts the datacenter simulator to the Measurer interface:
+// interference probes run one real instance of the application; scaling
+// probes spawn bursts of no-op functions (scaling time is independent of
+// the application, so no workload code is needed — Sec. 2.2).
+type SimMeasurer struct {
+	Config platform.Config
+	Demand interfere.Demand
+	Seed   int64
+
+	calls int64 // distinct jitter per repeated probe of the same degree
+
+	lastStorageUSD float64
+}
+
+var _ Measurer = (*SimMeasurer)(nil)
+
+// MeasureExec implements Measurer by running a single instance packed at
+// the given degree. A degree whose execution would exceed the platform's
+// limit is reported as ErrDegreeInfeasible so BuildModels can lower
+// P_max^deg.
+func (s *SimMeasurer) MeasureExec(degree int) (float64, error) {
+	s.calls++
+	res, err := platform.Run(s.Config, platform.Burst{
+		Demand:    s.Demand,
+		Functions: degree,
+		Degree:    degree,
+		Seed:      s.Seed + int64(degree) + 7907*s.calls,
+	})
+	if errors.Is(err, platform.ErrExecLimit) {
+		return 0, fmt.Errorf("%w: %v", ErrDegreeInfeasible, err)
+	}
+	if err != nil {
+		return 0, err
+	}
+	s.lastStorageUSD = res.StorageUSD + res.RequestUSD
+	return res.MeanExecSeconds(), nil
+}
+
+// LastProbeStorageUSD implements CostMeasurer: the non-compute bill of the
+// most recent interference probe.
+func (s *SimMeasurer) LastProbeStorageUSD() float64 { return s.lastStorageUSD }
+
+// nopDemand is the trivial function used for scaling probes: near-zero
+// work, minimal memory.
+func nopDemand() interfere.Demand {
+	return interfere.Demand{CPUSeconds: 0.1, MemoryMB: 128}
+}
+
+// MeasureScaling implements Measurer by spawning a burst of no-op
+// instances and timing until the last one starts.
+func (s *SimMeasurer) MeasureScaling(instances int) (float64, error) {
+	res, err := platform.Run(s.Config, platform.Burst{
+		Demand:    nopDemand(),
+		Functions: instances,
+		Degree:    1,
+		Seed:      s.Seed + int64(instances)*7919,
+	})
+	if err != nil {
+		return 0, err
+	}
+	return res.ScalingTime(), nil
+}
+
+// ProfileOptionsFor derives the standard ProfileOptions for an application
+// demand on a platform: MaxDegree from the memory constraint, R from the
+// billed memory and GB·second price.
+func ProfileOptionsFor(cfg platform.Config, d interfere.Demand) ProfileOptions {
+	return ProfileOptions{
+		MaxDegree:          cfg.Shape.MaxDegree(d),
+		MfuncGB:            d.MemoryMB / 1024,
+		RatePerInstanceSec: cfg.MemoryGB() * cfg.GBSecondUSD,
+	}
+}

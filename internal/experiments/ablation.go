@@ -1,0 +1,199 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/baseline"
+	"repro/internal/core"
+	"repro/internal/orchestrator"
+	"repro/internal/platform"
+	"repro/internal/stats"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// Ablation exercises the design choices DESIGN.md calls out:
+//
+//  1. alternate-point sampling vs a full profiling sweep (probe cost vs
+//     model error);
+//  2. the order of the scaling-time polynomial (the paper chose quadratic
+//     after trying several forms);
+//  3. Eq. 1 with the paper-exact zero intercept vs a fitted intercept;
+//  4. packing vs the rejected alternatives (serial batching, staggering,
+//     Pywren-style reuse).
+func Ablation(cfg Config) (*trace.Table, error) {
+	t := &trace.Table{
+		Title:  "Ablations of ProPack's design choices",
+		Header: []string{"ablation", "variant", "cost", "outcome"},
+	}
+	p := platform.AWSLambda()
+	w := workload.Video{}
+	if err := ablateSampling(cfg, t, p, w); err != nil {
+		return nil, err
+	}
+	if err := ablateScalingOrder(cfg, t, p); err != nil {
+		return nil, err
+	}
+	if err := ablateIntercept(cfg, t, p, w); err != nil {
+		return nil, err
+	}
+	if err := ablateAlternatives(cfg, t, p, w); err != nil {
+		return nil, err
+	}
+	if err := ablateInstanceSize(cfg, t); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// ablateInstanceSize tests the paper's "use the maximum memory size (10 GB)"
+// design choice (Sec. 3): for each configured instance size — with vCPUs
+// and bandwidth scaled as Lambda scales them — ProPack plans and runs at
+// the top concurrency. Larger instances permit deeper packing and thus
+// fewer instances; at high concurrency that dominates, confirming the
+// paper's choice.
+func ablateInstanceSize(cfg Config, t *trace.Table) error {
+	w := workload.Video{}
+	c := cfg.topConcurrency()
+	for _, mb := range []float64{3584, 7168, 10240} {
+		p, err := platform.AWSLambda().WithMemory(mb)
+		if err != nil {
+			return err
+		}
+		run, err := orchestrator.RunProPack(p, w.Demand(), c, core.Balanced(), cfg.Seed)
+		if err != nil {
+			return err
+		}
+		got := run.MetricsWithOverhead()
+		t.AddRow("instance size", fmt.Sprintf("%.0f MB / %d vCPU", mb, p.Shape.Cores),
+			fmt.Sprintf("degree %d, %d inst", run.Plan.Degree, got.Instances),
+			fmt.Sprintf("service %.0fs, expense $%.2f", got.TotalService, got.ExpenseUSD))
+	}
+	return nil
+}
+
+// ablateSampling compares the alternate-point profile against the full
+// sweep: probe seconds spent vs mean model error over all degrees.
+func ablateSampling(cfg Config, t *trace.Table, p platform.Config, w workload.Workload) error {
+	for _, full := range []bool{false, true} {
+		meas := &core.SimMeasurer{Config: p, Demand: w.Demand(), Seed: cfg.Seed}
+		opts := core.ProfileOptionsFor(p, w.Demand())
+		opts.FullSweep = full
+		models, _, _, ov, err := core.BuildModels(meas, opts)
+		if err != nil {
+			return err
+		}
+		// Evaluate against the true curve at every feasible degree.
+		var errSum float64
+		var n int
+		for deg := 1; deg <= models.MaxDegree; deg++ {
+			truth, err := meas.MeasureExec(deg)
+			if err != nil {
+				break
+			}
+			errSum += math.Abs(models.ET.At(deg)-truth) / truth
+			n++
+		}
+		name := "alternate points"
+		if full {
+			name = "full sweep"
+		}
+		t.AddRow("sampling", name,
+			fmt.Sprintf("%.0f probe-sec", ov.ExecProbeSec),
+			fmt.Sprintf("mean ET error %.2f%%", 100*errSum/float64(n)))
+	}
+	return nil
+}
+
+// ablateScalingOrder fits polynomials of order 1–3 to the scaling probes
+// and reports extrapolation error at the top concurrency.
+func ablateScalingOrder(cfg Config, t *trace.Table, p platform.Config) error {
+	meas := &core.SimMeasurer{Config: p, Demand: workload.Video{}.Demand(), Seed: cfg.Seed}
+	probes := []int{100, 250, 500, 1000, 1500, 2000, 3000}
+	holdout := cfg.topConcurrency()
+	var xs, ys []float64
+	for _, c := range probes {
+		s, err := meas.MeasureScaling(c)
+		if err != nil {
+			return err
+		}
+		xs = append(xs, float64(c))
+		ys = append(ys, s)
+	}
+	truth, err := meas.MeasureScaling(holdout)
+	if err != nil {
+		return err
+	}
+	for order := 1; order <= 3; order++ {
+		poly, err := stats.PolyFit(xs, ys, order)
+		if err != nil {
+			return err
+		}
+		pred := poly.At(float64(holdout))
+		t.AddRow("scaling model", fmt.Sprintf("order-%d polynomial", order),
+			fmt.Sprintf("%d probes", len(probes)),
+			fmt.Sprintf("extrapolation error at C=%d: %.1f%%", holdout, 100*math.Abs(pred-truth)/truth))
+	}
+	return nil
+}
+
+// ablateIntercept compares the paper-exact Eq. 1 (zero intercept) against
+// the fitted-intercept variant on prediction error.
+func ablateIntercept(cfg Config, t *trace.Table, p platform.Config, w workload.Workload) error {
+	for _, exact := range []bool{true, false} {
+		meas := &core.SimMeasurer{Config: p, Demand: w.Demand(), Seed: cfg.Seed}
+		opts := core.ProfileOptionsFor(p, w.Demand())
+		opts.FitET = core.FitETOptions{PaperExact: exact}
+		models, samples, _, _, err := core.BuildModels(meas, opts)
+		if err != nil {
+			return err
+		}
+		var errSum float64
+		for _, s := range samples {
+			errSum += math.Abs(models.ET.At(s.Degree)-s.ETSec) / s.ETSec
+		}
+		name := "fitted intercept"
+		if exact {
+			name = "paper-exact (no intercept)"
+		}
+		t.AddRow("Eq. 1 form", name, fmt.Sprintf("%d samples", len(samples)),
+			fmt.Sprintf("mean ET error %.2f%%", 100*errSum/float64(len(samples))))
+	}
+	return nil
+}
+
+// ablateAlternatives runs the latency-hiding alternatives the paper
+// rejects next to ProPack at the top concurrency.
+func ablateAlternatives(cfg Config, t *trace.Table, p platform.Config, w workload.Workload) error {
+	c := cfg.topConcurrency()
+	base, err := orchestrator.Execute(p, w.Demand(), c, 1, cfg.Seed)
+	if err != nil {
+		return err
+	}
+	strategies := []baseline.Strategy{
+		baseline.SerialBatching{BatchSize: 250},
+		baseline.Staggered{DelaySec: 0.2},
+		baseline.Pywren{},
+	}
+	for _, s := range strategies {
+		m, err := s.Execute(p, w.Demand(), c, cfg.Seed)
+		if err != nil {
+			return err
+		}
+		t.AddRow("alternatives", s.Name(), fmt.Sprintf("C=%d", c),
+			fmt.Sprintf("service %+.1f%%, expense %+.1f%%",
+				trace.Improvement(base.TotalService, m.TotalService),
+				trace.Improvement(base.ExpenseUSD, m.ExpenseUSD)))
+	}
+	run, err := orchestrator.RunProPack(p, w.Demand(), c, core.Balanced(), cfg.Seed)
+	if err != nil {
+		return err
+	}
+	got := run.MetricsWithOverhead()
+	t.AddRow("alternatives", "ProPack", fmt.Sprintf("C=%d", c),
+		fmt.Sprintf("service %+.1f%%, expense %+.1f%%",
+			trace.Improvement(base.TotalService, got.TotalService),
+			trace.Improvement(base.ExpenseUSD, got.ExpenseUSD)))
+	return nil
+}

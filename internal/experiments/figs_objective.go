@@ -1,0 +1,142 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/baseline"
+	"repro/internal/core"
+	"repro/internal/orchestrator"
+	"repro/internal/platform"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// Fig13 reproduces the single-objective comparison for time-constrained
+// workloads: ProPack with service time as the sole objective improves total
+// service time a further ~7.5% over the joint objective.
+func Fig13(cfg Config) (*trace.Table, error) {
+	t := &trace.Table{
+		Title:  "Fig 13: ProPack (service-time objective) vs ProPack (joint)",
+		Header: []string{"app", "concurrency", "joint deg", "svc deg", "joint improv", "svc improv", "extra"},
+	}
+	p := platform.AWSLambda()
+	for _, w := range workload.Motivation() {
+		for _, c := range cfg.concurrencies() {
+			joint, err := orchestrator.RunProPack(p, w.Demand(), c, core.Balanced(), cfg.Seed)
+			if err != nil {
+				return nil, err
+			}
+			svc, err := orchestrator.RunProPack(p, w.Demand(), c, core.ServiceOnly(), cfg.Seed)
+			if err != nil {
+				return nil, err
+			}
+			base, err := orchestrator.Execute(p, w.Demand(), c, 1, cfg.Seed)
+			if err != nil {
+				return nil, err
+			}
+			ji := trace.Improvement(base.TotalService, joint.Metrics.TotalService)
+			si := trace.Improvement(base.TotalService, svc.Metrics.TotalService)
+			t.AddRow(w.Name(), itoa(c), itoa(joint.Plan.Degree), itoa(svc.Plan.Degree),
+				pct(ji), pct(si), pct(si-ji))
+		}
+	}
+	return t, nil
+}
+
+// Fig14 reproduces the budget-constrained counterpart: expense as the sole
+// objective cuts cost a further ~9.3% over the joint objective.
+func Fig14(cfg Config) (*trace.Table, error) {
+	t := &trace.Table{
+		Title:  "Fig 14: ProPack (expense objective) vs ProPack (joint)",
+		Header: []string{"app", "concurrency", "joint deg", "exp deg", "joint improv", "exp improv", "extra"},
+	}
+	p := platform.AWSLambda()
+	for _, w := range workload.Motivation() {
+		for _, c := range cfg.concurrencies() {
+			joint, err := orchestrator.RunProPack(p, w.Demand(), c, core.Balanced(), cfg.Seed)
+			if err != nil {
+				return nil, err
+			}
+			exp, err := orchestrator.RunProPack(p, w.Demand(), c, core.ExpenseOnly(), cfg.Seed)
+			if err != nil {
+				return nil, err
+			}
+			base, err := orchestrator.Execute(p, w.Demand(), c, 1, cfg.Seed)
+			if err != nil {
+				return nil, err
+			}
+			ji := trace.Improvement(base.ExpenseUSD, joint.MetricsWithOverhead().ExpenseUSD)
+			ei := trace.Improvement(base.ExpenseUSD, exp.MetricsWithOverhead().ExpenseUSD)
+			t.AddRow(w.Name(), itoa(c), itoa(joint.Plan.Degree), itoa(exp.Plan.Degree),
+				pct(ji), pct(ei), pct(ei-ji))
+		}
+	}
+	return t, nil
+}
+
+// Fig15 reproduces the objective-dependence of the Oracle packing degree:
+// minimizing expense packs more than minimizing service time, and ProPack's
+// analytical degrees track both.
+func Fig15(cfg Config) (*trace.Table, error) {
+	t := &trace.Table{
+		Title:  "Fig 15: Oracle degree by objective (service-only vs expense-only)",
+		Header: []string{"app", "concurrency", "oracle svc", "propack svc", "oracle exp", "propack exp"},
+	}
+	p := platform.AWSLambda()
+	for _, w := range workload.Motivation() {
+		models, _, _, _, err := buildModels(cfg, p, w)
+		if err != nil {
+			return nil, err
+		}
+		for _, c := range cfg.concurrencies() {
+			_, oS, err := (baseline.Oracle{Objective: baseline.MinTotalService}).Search(p, w.Demand(), c, cfg.Seed)
+			if err != nil {
+				return nil, err
+			}
+			_, oE, err := (baseline.Oracle{Objective: baseline.MinExpense}).Search(p, w.Demand(), c, cfg.Seed)
+			if err != nil {
+				return nil, err
+			}
+			t.AddRow(w.Name(), itoa(c),
+				itoa(oS), itoa(models.OptimalDegreeService(c)),
+				itoa(oE), itoa(models.OptimalDegreeExpense(c)))
+		}
+	}
+	return t, nil
+}
+
+// Fig16 reproduces the weight-sensitivity sweep for Stateless Cost at the
+// top concurrency: as W_E grows, expense improves further; as W_S grows,
+// service time does.
+func Fig16(cfg Config) (*trace.Table, error) {
+	t := &trace.Table{
+		Title:  "Fig 16: weight sensitivity (Stateless Cost)",
+		Header: []string{"W_S/W_E", "degree", "service improv", "expense improv"},
+	}
+	p := platform.AWSLambda()
+	w := workload.StatelessCost{}
+	c := cfg.topConcurrency()
+	base, err := orchestrator.Execute(p, w.Demand(), c, 1, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	models, _, _, _, err := buildModels(cfg, p, w)
+	if err != nil {
+		return nil, err
+	}
+	for _, ws := range []float64{0.1, 0.3, 0.5, 0.7, 0.9} {
+		weights := core.Weights{Service: ws, Expense: 1 - ws}
+		deg, err := models.OptimalDegree(c, weights)
+		if err != nil {
+			return nil, err
+		}
+		m, err := orchestrator.Execute(p, w.Demand(), c, deg, cfg.Seed)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(fmt.Sprintf("%.1f/%.1f", ws, 1-ws), itoa(deg),
+			pct(trace.Improvement(base.TotalService, m.TotalService)),
+			pct(trace.Improvement(base.ExpenseUSD, m.ExpenseUSD)))
+	}
+	return t, nil
+}

@@ -1,0 +1,192 @@
+package experiments
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// TestFig16WeightSweepMonotone: as W_S grows, the chosen degree must not
+// grow (service optimization packs less than expense optimization), the
+// service improvement must not fall, and the expense improvement must not
+// rise.
+func TestFig16WeightSweepMonotone(t *testing.T) {
+	tab, err := Fig16(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	prevDeg := 1 << 30
+	prevSvc, prevExp := -1e9, 1e9
+	for i, row := range tab.Rows {
+		deg, _ := strconv.Atoi(row[1])
+		svc := parsePct(t, row[2])
+		exp := parsePct(t, row[3])
+		if deg > prevDeg {
+			t.Fatalf("row %d: degree rose with W_S: %v", i, row)
+		}
+		if svc < prevSvc-0.5 {
+			t.Fatalf("row %d: service improvement fell with W_S: %v", i, row)
+		}
+		if exp > prevExp+0.5 {
+			t.Fatalf("row %d: expense improvement rose with W_S: %v", i, row)
+		}
+		prevDeg, prevSvc, prevExp = deg, svc, exp
+	}
+}
+
+// TestFig5bSpreadZero: the application-independence experiment must report
+// zero spread on every row (stage times carry no app-dependent jitter).
+func TestFig5bSpreadZero(t *testing.T) {
+	tab, err := Fig5b(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, row := range tab.Rows {
+		if spread := parsePct(t, row[4]); spread != 0 {
+			t.Fatalf("row %d: nonzero app spread %g%%", i, spread)
+		}
+	}
+}
+
+// TestFig5aDriftTiny: per-instance execution time must not drift with
+// concurrency beyond the paper's 5% bound (ours is far tighter).
+func TestFig5aDriftTiny(t *testing.T) {
+	tab, err := Fig5a(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, row := range tab.Rows {
+		drift := parsePct(t, row[3])
+		if drift < 0 {
+			drift = -drift
+		}
+		if drift > 5 {
+			t.Fatalf("row %d: drift %g%% exceeds the paper's 5%% bound", i, drift)
+		}
+	}
+}
+
+// TestFig6ScalingFallsWithDegree: within each app's block the scaling time
+// must be strictly decreasing in the packing degree.
+func TestFig6ScalingFallsWithDegree(t *testing.T) {
+	tab, err := Fig6(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	prevApp := ""
+	prev := 0.0
+	for i, row := range tab.Rows {
+		v, err := strconv.ParseFloat(strings.TrimSuffix(row[3], "s"), 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if row[0] == prevApp && v >= prev {
+			t.Fatalf("row %d: scaling did not fall with degree: %v", i, row)
+		}
+		prevApp, prev = row[0], v
+	}
+}
+
+// TestFig7InteriorMinimum: each app's expense curve must dip below both its
+// degree-1 start and its final sweep point (non-monotonicity), or at least
+// keep falling into an interior plateau for apps whose maximum degree cuts
+// the sweep short.
+func TestFig7InteriorMinimum(t *testing.T) {
+	tab, err := Fig7(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	perApp := map[string][]float64{}
+	var order []string
+	for _, row := range tab.Rows {
+		v, err := strconv.ParseFloat(strings.TrimPrefix(row[2], "$"), 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, ok := perApp[row[0]]; !ok {
+			order = append(order, row[0])
+		}
+		perApp[row[0]] = append(perApp[row[0]], v)
+	}
+	for _, app := range order {
+		curve := perApp[app]
+		if len(curve) < 3 {
+			t.Fatalf("%s: sweep too short", app)
+		}
+		min := curve[0]
+		for _, v := range curve {
+			if v < min {
+				min = v
+			}
+		}
+		if min >= curve[0] {
+			t.Fatalf("%s: expense never fell below degree 1", app)
+		}
+	}
+}
+
+// TestFig2AllComponentsGrow: every control-plane component must increase
+// with concurrency.
+func TestFig2AllComponentsGrow(t *testing.T) {
+	tab, err := Fig2(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for col := 1; col <= 3; col++ {
+		prev := -1.0
+		for i, row := range tab.Rows {
+			v := parsePct(t, row[col])
+			if v <= prev {
+				t.Fatalf("component %d did not grow at row %d: %v", col, i, row)
+			}
+			prev = v
+		}
+	}
+}
+
+// TestAblationScalingOrderVerdict: the order-2 row must beat order-1
+// dramatically (the paper's model-selection result).
+func TestAblationScalingOrderVerdict(t *testing.T) {
+	tab, err := Ablation(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var order1, order2 string
+	for _, row := range tab.Rows {
+		if row[0] != "scaling model" {
+			continue
+		}
+		switch row[1] {
+		case "order-1 polynomial":
+			order1 = row[3]
+		case "order-2 polynomial":
+			order2 = row[3]
+		}
+	}
+	if order1 == "" || order2 == "" {
+		t.Fatal("scaling-order rows missing")
+	}
+	p1 := extractPct(t, order1)
+	p2 := extractPct(t, order2)
+	if p2 >= p1 || p2 > 2 {
+		t.Fatalf("order-2 (%g%%) should be far better than order-1 (%g%%)", p2, p1)
+	}
+}
+
+// extractPct pulls the last "N.N%" out of a free-form cell.
+func extractPct(t *testing.T, s string) float64 {
+	t.Helper()
+	idx := strings.LastIndex(s, "%")
+	if idx < 0 {
+		t.Fatalf("no percentage in %q", s)
+	}
+	start := idx
+	for start > 0 && (s[start-1] == '.' || (s[start-1] >= '0' && s[start-1] <= '9')) {
+		start--
+	}
+	v, err := strconv.ParseFloat(s[start:idx], 64)
+	if err != nil {
+		t.Fatalf("bad percentage in %q: %v", s, err)
+	}
+	return v
+}

@@ -1,0 +1,207 @@
+package interfere
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func demoDemand() Demand {
+	return Demand{CPUSeconds: 55, IOSeconds: 45, MemoryMB: 256, MemBWMBps: 2200}
+}
+
+func demoShape() Shape {
+	return Shape{Cores: 6, MemoryMB: 10240, MemBWMBps: 25600,
+		ContentionRate: 0.38, BWWeight: 0.3, IsolationFactor: 1}
+}
+
+func TestSoloMatchesDemand(t *testing.T) {
+	d, s := demoDemand(), demoShape()
+	et := ExecSeconds(d, s, 1)
+	if math.Abs(et-d.SoloSeconds()) > 1e-9 {
+		t.Fatalf("solo ET %g, want %g", et, d.SoloSeconds())
+	}
+}
+
+func TestExecMonotoneInDegree(t *testing.T) {
+	d, s := demoDemand(), demoShape()
+	prev := 0.0
+	for deg := 1; deg <= s.MaxDegree(d); deg++ {
+		et := ExecSeconds(d, s, deg)
+		if et < prev {
+			t.Fatalf("ET not monotone at degree %d: %g < %g", deg, et, prev)
+		}
+		prev = et
+	}
+}
+
+// TestExponentialShape verifies the ground truth is log-linear in degree in
+// the contention-dominated regime — the empirical shape the paper's Eq. 1
+// was chosen to fit (Fig. 4).
+func TestExponentialShape(t *testing.T) {
+	d, s := demoDemand(), demoShape()
+	kappa := s.ContentionKappa(d)
+	if kappa <= 0 {
+		t.Fatal("expected positive contention")
+	}
+	for deg := 2; deg <= 40; deg++ {
+		ratio := ExecSeconds(d, s, deg) / ExecSeconds(d, s, deg-1)
+		if math.Abs(math.Log(ratio)-kappa) > 1e-9 {
+			t.Fatalf("degree %d: log-ratio %g, want κ=%g", deg, math.Log(ratio), kappa)
+		}
+	}
+}
+
+// TestComputeBoundDegradesFaster encodes the paper's Smith-Waterman
+// observation: compute-intensive functions pack worse than I/O-heavy ones.
+func TestComputeBoundDegradesFaster(t *testing.T) {
+	s := demoShape()
+	cpuBound := Demand{CPUSeconds: 92, IOSeconds: 10, MemoryMB: 292, MemBWMBps: 3600}
+	ioBound := Demand{CPUSeconds: 22, IOSeconds: 18, MemoryMB: 341, MemBWMBps: 1600}
+	if Slowdown(cpuBound, s, 12) <= Slowdown(ioBound, s, 12) {
+		t.Fatalf("CPU-bound slowdown %g should exceed I/O-bound %g",
+			Slowdown(cpuBound, s, 12), Slowdown(ioBound, s, 12))
+	}
+}
+
+// TestWorkConservationFloor: with contention switched off, packing is free
+// only until the cores are saturated with actual compute.
+func TestWorkConservationFloor(t *testing.T) {
+	d := Demand{CPUSeconds: 60, IOSeconds: 0, MemoryMB: 100}
+	s := Shape{Cores: 6, MemoryMB: 10240, MemBWMBps: 1e9, IsolationFactor: 1}
+	if got := ExecSeconds(d, s, 6); math.Abs(got-60) > 1e-9 {
+		t.Fatalf("ET at degree=cores should be uncontended: %g", got)
+	}
+	if got := ExecSeconds(d, s, 12); math.Abs(got-120) > 1e-9 {
+		t.Fatalf("ET at 2×cores should double (work conservation): %g", got)
+	}
+}
+
+func TestBandwidthPressureRaisesContention(t *testing.T) {
+	s := demoShape()
+	lowBW := Demand{CPUSeconds: 50, IOSeconds: 50, MemoryMB: 256, MemBWMBps: 500}
+	highBW := Demand{CPUSeconds: 50, IOSeconds: 50, MemoryMB: 256, MemBWMBps: 8000}
+	if s.ContentionKappa(highBW) <= s.ContentionKappa(lowBW) {
+		t.Fatal("higher bandwidth demand should raise contention")
+	}
+	// Pressure saturates at 1: absurd demands do not explode κ.
+	insane := lowBW
+	insane.MemBWMBps = 1e9
+	capped := s.ContentionKappa(insane)
+	justSaturated := lowBW
+	justSaturated.MemBWMBps = s.MemBWMBps // cores×this ≥ instance BW
+	if math.Abs(capped-s.ContentionKappa(justSaturated)) > 1e-12 {
+		t.Fatal("bandwidth pressure should cap at 1")
+	}
+}
+
+func TestIsolationFactorScales(t *testing.T) {
+	d, s := demoDemand(), demoShape()
+	s.IsolationFactor = 1.12
+	base := demoShape()
+	r := ExecSeconds(d, s, 8) / ExecSeconds(d, base, 8)
+	if math.Abs(r-1.12) > 1e-9 {
+		t.Fatalf("isolation factor not applied multiplicatively: %g", r)
+	}
+}
+
+func TestMaxDegree(t *testing.T) {
+	s := demoShape()
+	cases := []struct {
+		memMB float64
+		want  int
+	}{
+		{256, 40},  // Video
+		{680, 15},  // Sort
+		{341, 30},  // StatelessCost
+		{292, 35},  // Smith-Waterman
+		{10241, 0}, // doesn't fit at all
+	}
+	for _, c := range cases {
+		got := s.MaxDegree(Demand{MemoryMB: c.memMB})
+		if got != c.want {
+			t.Fatalf("MaxDegree(%g MB) = %d, want %d", c.memMB, got, c.want)
+		}
+	}
+	if s.MaxDegree(Demand{}) != 0 {
+		t.Fatal("zero-memory demand should yield 0")
+	}
+}
+
+func TestUtilization(t *testing.T) {
+	d := Demand{CPUSeconds: 30, IOSeconds: 70, MemoryMB: 1}
+	if math.Abs(d.Utilization()-0.3) > 1e-12 {
+		t.Fatalf("utilization %g, want 0.3", d.Utilization())
+	}
+	if (Demand{}).Utilization() != 0 {
+		t.Fatal("zero demand utilization should be 0")
+	}
+}
+
+func TestValidation(t *testing.T) {
+	if err := demoDemand().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := demoShape().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bads := []Demand{
+		{CPUSeconds: -1, MemoryMB: 10},
+		{CPUSeconds: 0, IOSeconds: 0, MemoryMB: 10},
+		{CPUSeconds: 1, MemoryMB: 0},
+		{CPUSeconds: 1, MemoryMB: 10, MemBWMBps: -5},
+		{CPUSeconds: 1, MemoryMB: 10, ShuffleFraction: 1.5},
+	}
+	for i, b := range bads {
+		if b.Validate() == nil {
+			t.Fatalf("bad demand %d accepted: %+v", i, b)
+		}
+	}
+	badShapes := []Shape{
+		{Cores: 0, MemoryMB: 1, MemBWMBps: 1, IsolationFactor: 1},
+		{Cores: 1, MemoryMB: 0, MemBWMBps: 1, IsolationFactor: 1},
+		{Cores: 1, MemoryMB: 1, MemBWMBps: 0, IsolationFactor: 1},
+		{Cores: 1, MemoryMB: 1, MemBWMBps: 1, IsolationFactor: 0},
+		{Cores: 1, MemoryMB: 1, MemBWMBps: 1, IsolationFactor: 1, ContentionRate: -1},
+		{Cores: 1, MemoryMB: 1, MemBWMBps: 1, IsolationFactor: 1, BWWeight: -1},
+	}
+	for i, b := range badShapes {
+		if b.Validate() == nil {
+			t.Fatalf("bad shape %d accepted: %+v", i, b)
+		}
+	}
+}
+
+func TestDegreeZeroPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("degree 0 should panic")
+		}
+	}()
+	ExecSeconds(demoDemand(), demoShape(), 0)
+}
+
+// Property: slowdown is ≥1 and monotone for arbitrary sane demands.
+func TestSlowdownProperty(t *testing.T) {
+	f := func(cpu, io, bw uint8) bool {
+		d := Demand{
+			CPUSeconds: 1 + float64(cpu),
+			IOSeconds:  float64(io),
+			MemoryMB:   256,
+			MemBWMBps:  float64(bw) * 100,
+		}
+		s := demoShape()
+		prev := 0.0
+		for deg := 1; deg <= 40; deg++ {
+			sl := Slowdown(d, s, deg)
+			if sl < 1-1e-12 || sl < prev-1e-12 {
+				return false
+			}
+			prev = sl
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

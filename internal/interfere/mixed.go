@@ -1,0 +1,104 @@
+package interfere
+
+import (
+	"fmt"
+	"math"
+)
+
+// Mixed-demand packing: the paper's Sec. 5 notes that "packing functions of
+// different characteristics presents new modeling challenges — ProPack can
+// be extended to account for those". This file is that extension's ground
+// truth: an instance running functions with *different* demands.
+//
+// The homogeneous model ET(d) = solo·exp(κ·(d−1)) reads as "each co-resident
+// contributes a constant log-slowdown proportional to its resource
+// pressure". The mixed generalization keeps exactly that structure: function
+// i finishes after
+//
+//	ET_i = solo_i · exp( rate/Cores · Σ_{j≠i} pressure_j )
+//
+// where pressure_j = u_j + BWWeight·bwPressure_j, and the instance's wall
+// time is the slowest function, floored by work conservation. With all
+// demands equal this reduces term-for-term to ExecSeconds.
+
+// pressure is a demand's contention contribution on this shape.
+func (s Shape) pressure(d Demand) float64 {
+	bwPressure := 0.0
+	if s.MemBWMBps > 0 {
+		bwPressure = math.Min(1, float64(s.Cores)*d.MemBWMBps/s.MemBWMBps)
+	}
+	return d.Utilization() + s.BWWeight*bwPressure
+}
+
+// FitsMemory reports whether the demands' combined footprint fits in the
+// instance.
+func (s Shape) FitsMemory(demands []Demand) bool {
+	var mem float64
+	for _, d := range demands {
+		mem += d.MemoryMB
+	}
+	return mem <= s.MemoryMB
+}
+
+// ExecSecondsMixed returns the wall-clock execution time of one instance
+// running the given (possibly heterogeneous) set of functions concurrently
+// as threads. It panics on an empty set; callers enforce the memory bound
+// via FitsMemory (the platform's MixedBurst validation does).
+func ExecSecondsMixed(demands []Demand, s Shape) float64 {
+	if len(demands) == 0 {
+		panic("interfere: empty packed set")
+	}
+	var totalCPU float64
+	for _, d := range demands {
+		totalCPU += d.CPUSeconds
+	}
+	var et float64
+	for _, d := range demands {
+		// Same-demand co-residents contribute full pressure; different
+		// demands are discounted (diverse threads interleave better).
+		var others float64
+		for _, o := range demands {
+			p := s.pressure(o)
+			if o != d {
+				p *= 1 - s.CrossDiscount
+			}
+			others += p
+		}
+		others -= s.pressure(d) // exclude the member itself (undiscounted)
+		fi := d.SoloSeconds() * math.Exp(s.ContentionRate/float64(s.Cores)*others)
+		if fi > et {
+			et = fi
+		}
+	}
+	// Work conservation: the combined compute cannot beat the core count.
+	var maxIO float64
+	for _, d := range demands {
+		if d.IOSeconds > maxIO {
+			maxIO = d.IOSeconds
+		}
+	}
+	if floor := totalCPU/float64(s.Cores) + maxIO; floor > et {
+		et = floor
+	}
+	return et * s.IsolationFactor
+}
+
+// ValidateMixed checks every demand of a packed set and the memory bound.
+func (s Shape) ValidateMixed(demands []Demand) error {
+	if len(demands) == 0 {
+		return fmt.Errorf("interfere: empty packed set")
+	}
+	for i, d := range demands {
+		if err := d.Validate(); err != nil {
+			return fmt.Errorf("interfere: member %d: %w", i, err)
+		}
+	}
+	if !s.FitsMemory(demands) {
+		var mem float64
+		for _, d := range demands {
+			mem += d.MemoryMB
+		}
+		return fmt.Errorf("interfere: packed set needs %.0f MB > instance %.0f MB", mem, s.MemoryMB)
+	}
+	return nil
+}

@@ -1,0 +1,118 @@
+package interfere
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestMixedReducesToHomogeneous(t *testing.T) {
+	s := demoShape()
+	d := demoDemand()
+	for _, n := range []int{1, 2, 5, 12, 40} {
+		set := make([]Demand, n)
+		for i := range set {
+			set[i] = d
+		}
+		mixed := ExecSecondsMixed(set, s)
+		homog := ExecSeconds(d, s, n)
+		if math.Abs(mixed-homog) > 1e-9*homog {
+			t.Fatalf("n=%d: mixed %g ≠ homogeneous %g", n, mixed, homog)
+		}
+	}
+}
+
+func TestMixedSlowestMemberDominates(t *testing.T) {
+	s := demoShape()
+	long := Demand{CPUSeconds: 90, IOSeconds: 10, MemoryMB: 256, MemBWMBps: 2000}
+	short := Demand{CPUSeconds: 5, IOSeconds: 5, MemoryMB: 256, MemBWMBps: 500}
+	et := ExecSecondsMixed([]Demand{long, short, short, short}, s)
+	if et < long.SoloSeconds() {
+		t.Fatalf("instance cannot finish before its longest member: %g < %g", et, long.SoloSeconds())
+	}
+	// Adding light co-residents must cost the long member less than adding
+	// heavy ones.
+	heavy := ExecSecondsMixed([]Demand{long, long, long, long}, s)
+	if et >= heavy {
+		t.Fatalf("light co-residents should interfere less: %g vs %g", et, heavy)
+	}
+}
+
+func TestMixedMonotoneInMembers(t *testing.T) {
+	s := demoShape()
+	base := []Demand{demoDemand()}
+	prev := ExecSecondsMixed(base, s)
+	for i := 0; i < 10; i++ {
+		base = append(base, Demand{CPUSeconds: 20, IOSeconds: 20, MemoryMB: 128, MemBWMBps: 1000})
+		et := ExecSecondsMixed(base, s)
+		if et < prev-1e-12 {
+			t.Fatalf("adding a member reduced ET: %g → %g", prev, et)
+		}
+		prev = et
+	}
+}
+
+func TestMixedWorkConservation(t *testing.T) {
+	s := Shape{Cores: 4, MemoryMB: 10240, MemBWMBps: 1e9, IsolationFactor: 1}
+	// No contention configured: only the floor applies.
+	set := []Demand{
+		{CPUSeconds: 40, MemoryMB: 100},
+		{CPUSeconds: 40, MemoryMB: 100},
+		{CPUSeconds: 40, MemoryMB: 100},
+		{CPUSeconds: 40, MemoryMB: 100},
+		{CPUSeconds: 40, MemoryMB: 100},
+	}
+	// 200 CPU-seconds over 4 cores = 50 s minimum.
+	if et := ExecSecondsMixed(set, s); math.Abs(et-50) > 1e-9 {
+		t.Fatalf("work-conservation floor violated: %g, want 50", et)
+	}
+}
+
+func TestFitsMemoryAndValidate(t *testing.T) {
+	s := demoShape()
+	okSet := []Demand{{CPUSeconds: 1, MemoryMB: 5000}, {CPUSeconds: 1, MemoryMB: 5000}}
+	if !s.FitsMemory(okSet) {
+		t.Fatal("10000 MB should fit in 10240")
+	}
+	if err := s.ValidateMixed(okSet); err != nil {
+		t.Fatal(err)
+	}
+	bigSet := []Demand{{CPUSeconds: 1, MemoryMB: 6000}, {CPUSeconds: 1, MemoryMB: 6000}}
+	if s.FitsMemory(bigSet) {
+		t.Fatal("12000 MB should not fit")
+	}
+	if s.ValidateMixed(bigSet) == nil {
+		t.Fatal("oversized set accepted")
+	}
+	if s.ValidateMixed(nil) == nil {
+		t.Fatal("empty set accepted")
+	}
+	if s.ValidateMixed([]Demand{{}}) == nil {
+		t.Fatal("invalid member accepted")
+	}
+}
+
+func TestMixedEmptyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("empty set should panic")
+		}
+	}()
+	ExecSecondsMixed(nil, demoShape())
+}
+
+// Property: permuting the packed set never changes the instance's ET.
+func TestMixedPermutationInvariant(t *testing.T) {
+	s := demoShape()
+	f := func(a, b, c uint8) bool {
+		d1 := Demand{CPUSeconds: 1 + float64(a), IOSeconds: 3, MemoryMB: 100, MemBWMBps: 500}
+		d2 := Demand{CPUSeconds: 1 + float64(b), IOSeconds: 7, MemoryMB: 200, MemBWMBps: 1500}
+		d3 := Demand{CPUSeconds: 1 + float64(c), IOSeconds: 1, MemoryMB: 300, MemBWMBps: 2500}
+		x := ExecSecondsMixed([]Demand{d1, d2, d3}, s)
+		y := ExecSecondsMixed([]Demand{d3, d1, d2}, s)
+		return math.Abs(x-y) < 1e-12*x
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

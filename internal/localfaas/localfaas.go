@@ -1,0 +1,221 @@
+// Package localfaas is a miniature function-as-a-service runtime that
+// executes the benchmark workloads' *real Go kernels* as packed function
+// instances on the local machine. It is the bridge between the datacenter
+// simulator (which scales to C=5000 but computes nothing) and the raw
+// packed executor (which computes but has no platform semantics):
+//
+//   - each instance hosts `degree` functions running concurrently as
+//     goroutines on a bounded core budget (the packing ground truth is the
+//     host's actual scheduler and caches);
+//   - instance starts are spaced by a pluggable control-plane delay model —
+//     typically a ScalingModel fitted against a simulated or real platform —
+//     so the scaling bottleneck is reproduced around real compute;
+//   - the runtime reports the same Metrics as the simulator, computed from
+//     real wall-clock timestamps.
+//
+// This is how the examples demonstrate ProPack end-to-end without any
+// cloud: profile real kernels, fit Eq. 1 with livemeasure, plan, then
+// execute the plan here and watch the real makespan drop.
+package localfaas
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// DelayModel maps an instance index (0-based, in admission order) to the
+// control-plane delay before that instance may start.
+type DelayModel func(instance int) time.Duration
+
+// NoDelay starts every instance immediately.
+func NoDelay(int) time.Duration { return 0 }
+
+// QuadraticDelay mimics Eq. 2's shape at small scale: instance k waits
+// β1·k² + β2·k (in the given time unit). Negative results clamp to zero.
+func QuadraticDelay(b1, b2 float64, unit time.Duration) DelayModel {
+	return func(k int) time.Duration {
+		v := b1*float64(k)*float64(k) + b2*float64(k)
+		if v < 0 {
+			v = 0
+		}
+		return time.Duration(v * float64(unit))
+	}
+}
+
+// Job describes one burst to execute for real.
+type Job struct {
+	// Workload supplies the real kernel.
+	Workload workload.Workload
+	// Functions is C, the number of logical function invocations.
+	Functions int
+	// Degree is the packing degree per instance.
+	Degree int
+	// CoresPerInstance bounds each instance's concurrent goroutines.
+	CoresPerInstance int
+	// MaxParallelInstances bounds how many instances run at once on this
+	// host (the host is not a datacenter); 0 means 2.
+	MaxParallelInstances int
+	// Delay is the control-plane delay model; nil means NoDelay.
+	Delay DelayModel
+	// Seed derives each function's deterministic input.
+	Seed int64
+	// RatePerInstanceSec converts real instance-seconds to dollars for the
+	// expense metric (0 is fine: expense reports 0).
+	RatePerInstanceSec float64
+}
+
+// Validate reports an error for malformed jobs.
+func (j Job) Validate() error {
+	switch {
+	case j.Workload == nil:
+		return fmt.Errorf("localfaas: nil workload")
+	case j.Functions < 1:
+		return fmt.Errorf("localfaas: functions %d < 1", j.Functions)
+	case j.Degree < 1:
+		return fmt.Errorf("localfaas: degree %d < 1", j.Degree)
+	case j.CoresPerInstance < 1:
+		return fmt.Errorf("localfaas: cores %d < 1", j.CoresPerInstance)
+	case j.MaxParallelInstances < 0:
+		return fmt.Errorf("localfaas: negative instance parallelism")
+	case j.RatePerInstanceSec < 0:
+		return fmt.Errorf("localfaas: negative rate")
+	}
+	return nil
+}
+
+// InstanceRecord is one instance's real execution record.
+type InstanceRecord struct {
+	Index     int
+	Degree    int
+	Start     time.Duration // since job begin, after the control-plane delay
+	End       time.Duration
+	Checksums []uint64
+}
+
+// Result is a completed job.
+type Result struct {
+	Job       Job
+	Instances []InstanceRecord
+	Metrics   trace.Metrics
+}
+
+// Run executes the job and blocks until every instance finishes.
+func Run(job Job) (*Result, error) {
+	if err := job.Validate(); err != nil {
+		return nil, err
+	}
+	delay := job.Delay
+	if delay == nil {
+		delay = NoDelay
+	}
+	maxPar := job.MaxParallelInstances
+	if maxPar == 0 {
+		maxPar = 2
+	}
+	n := (job.Functions + job.Degree - 1) / job.Degree
+	records := make([]InstanceRecord, n)
+	errs := make([]error, n)
+
+	begin := time.Now()
+	sem := make(chan struct{}, maxPar)
+	var wg sync.WaitGroup
+	remaining := job.Functions
+	for i := 0; i < n; i++ {
+		deg := job.Degree
+		if remaining < deg {
+			deg = remaining
+		}
+		remaining -= deg
+		wg.Add(1)
+		go func(i, deg int) {
+			defer wg.Done()
+			// Control-plane delay happens "in the cloud": it does not hold
+			// a host slot.
+			d := delay(i)
+			if d > 0 {
+				time.Sleep(d)
+			}
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			start := time.Since(begin)
+			res, err := workload.RunPacked(job.Workload, deg, job.CoresPerInstance,
+				job.Seed+int64(i)*1000003)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			records[i] = InstanceRecord{
+				Index:     i,
+				Degree:    deg,
+				Start:     start,
+				End:       start + res.Wall,
+				Checksums: res.Checksums,
+			}
+		}(i, deg)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("localfaas: instance %d: %w", i, err)
+		}
+	}
+	out := &Result{Job: job, Instances: records}
+	out.Metrics = metricsFrom(job, records)
+	return out, nil
+}
+
+func metricsFrom(job Job, records []InstanceRecord) trace.Metrics {
+	firstStart := records[0].Start
+	var maxStart, maxEnd time.Duration
+	ends := make([]float64, len(records))
+	var funcSec float64
+	for i, r := range records {
+		if r.Start < firstStart {
+			firstStart = r.Start
+		}
+		if r.Start > maxStart {
+			maxStart = r.Start
+		}
+		if r.End > maxEnd {
+			maxEnd = r.End
+		}
+		ends[i] = r.End.Seconds()
+		funcSec += (r.End - r.Start).Seconds()
+	}
+	q := func(p float64) float64 {
+		sorted := append([]float64(nil), ends...)
+		insertionSort(sorted)
+		idx := int(float64(len(sorted))*p/100+0.999999) - 1
+		if idx < 0 {
+			idx = 0
+		}
+		if idx >= len(sorted) {
+			idx = len(sorted) - 1
+		}
+		return sorted[idx] - firstStart.Seconds()
+	}
+	return trace.Metrics{
+		Platform:      "localfaas",
+		Degree:        job.Degree,
+		Instances:     len(records),
+		ScalingTime:   maxStart.Seconds(),
+		TotalService:  (maxEnd - firstStart).Seconds(),
+		TailService:   q(95),
+		MedianService: q(50),
+		ExpenseUSD:    funcSec * job.RatePerInstanceSec,
+		FunctionHours: funcSec / 3600,
+		MeanExecSec:   funcSec / float64(len(records)),
+	}
+}
+
+func insertionSort(xs []float64) {
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
+			xs[j], xs[j-1] = xs[j-1], xs[j]
+		}
+	}
+}

@@ -1,0 +1,140 @@
+package localfaas
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/workload"
+)
+
+func fastWorkload() workload.Workload {
+	return workload.StatelessCost{Images: 1, SrcSize: 48}
+}
+
+func TestRunBasics(t *testing.T) {
+	res, err := Run(Job{
+		Workload:         fastWorkload(),
+		Functions:        10,
+		Degree:           3, // 3,3,3,1
+		CoresPerInstance: 2,
+		Seed:             5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Instances) != 4 {
+		t.Fatalf("instances %d, want 4", len(res.Instances))
+	}
+	total := 0
+	seen := map[uint64]bool{}
+	for _, r := range res.Instances {
+		total += r.Degree
+		if len(r.Checksums) != r.Degree {
+			t.Fatalf("instance %d: %d checksums for degree %d", r.Index, len(r.Checksums), r.Degree)
+		}
+		if r.End <= r.Start {
+			t.Fatalf("instance %d never ran", r.Index)
+		}
+		for _, c := range r.Checksums {
+			if seen[c] {
+				t.Fatal("duplicate checksum: functions did not get distinct inputs")
+			}
+			seen[c] = true
+		}
+	}
+	if total != 10 {
+		t.Fatalf("functions covered %d, want 10", total)
+	}
+	m := res.Metrics
+	if m.TotalService <= 0 || m.MedianService > m.TailService || m.TailService > m.TotalService+1e-9 {
+		t.Fatalf("bad metrics %+v", m)
+	}
+	if m.Instances != 4 || m.Degree != 3 {
+		t.Fatalf("identity wrong %+v", m)
+	}
+}
+
+func TestDelayModelShapesScaling(t *testing.T) {
+	// A steep per-instance delay makes the last start dominate — and
+	// packing (fewer instances) must shrink it, the paper's core mechanism
+	// reproduced with real compute.
+	delay := QuadraticDelay(0, 30, time.Millisecond) // 30 ms per instance index
+	unpacked, err := Run(Job{
+		Workload: fastWorkload(), Functions: 16, Degree: 1,
+		CoresPerInstance: 2, MaxParallelInstances: 8, Delay: delay, Seed: 7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	packed, err := Run(Job{
+		Workload: fastWorkload(), Functions: 16, Degree: 4,
+		CoresPerInstance: 2, MaxParallelInstances: 8, Delay: delay, Seed: 7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if packed.Metrics.ScalingTime >= unpacked.Metrics.ScalingTime {
+		t.Fatalf("packing should cut real scaling time: %g vs %g",
+			packed.Metrics.ScalingTime, unpacked.Metrics.ScalingTime)
+	}
+	// The 15th instance waits ≥ 450 ms; scaling time must reflect that.
+	if unpacked.Metrics.ScalingTime < 0.45 {
+		t.Fatalf("delay model not applied: scaling %g", unpacked.Metrics.ScalingTime)
+	}
+}
+
+func TestQuadraticDelay(t *testing.T) {
+	d := QuadraticDelay(1, 2, time.Millisecond)
+	if got := d(3); got != 15*time.Millisecond { // 9 + 6
+		t.Fatalf("delay(3) = %v, want 15ms", got)
+	}
+	if QuadraticDelay(-1, 0, time.Second)(5) != 0 {
+		t.Fatal("negative delay should clamp to 0")
+	}
+	if NoDelay(100) != 0 {
+		t.Fatal("NoDelay should be 0")
+	}
+}
+
+func TestJobValidation(t *testing.T) {
+	good := Job{Workload: fastWorkload(), Functions: 1, Degree: 1, CoresPerInstance: 1}
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bads := []Job{
+		{Functions: 1, Degree: 1, CoresPerInstance: 1},
+		{Workload: fastWorkload(), Functions: 0, Degree: 1, CoresPerInstance: 1},
+		{Workload: fastWorkload(), Functions: 1, Degree: 0, CoresPerInstance: 1},
+		{Workload: fastWorkload(), Functions: 1, Degree: 1, CoresPerInstance: 0},
+		{Workload: fastWorkload(), Functions: 1, Degree: 1, CoresPerInstance: 1, MaxParallelInstances: -1},
+		{Workload: fastWorkload(), Functions: 1, Degree: 1, CoresPerInstance: 1, RatePerInstanceSec: -1},
+	}
+	for i, b := range bads {
+		if _, err := Run(b); err == nil {
+			t.Fatalf("bad job %d accepted", i)
+		}
+	}
+}
+
+func TestDeterministicChecksums(t *testing.T) {
+	run := func() []uint64 {
+		res, err := Run(Job{
+			Workload: fastWorkload(), Functions: 6, Degree: 2,
+			CoresPerInstance: 2, Seed: 11,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var all []uint64
+		for _, r := range res.Instances {
+			all = append(all, r.Checksums...)
+		}
+		return all
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("checksums not reproducible across runs")
+		}
+	}
+}

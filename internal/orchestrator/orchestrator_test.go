@@ -1,0 +1,111 @@
+package orchestrator
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/platform"
+	"repro/internal/workload"
+)
+
+func TestExecuteBasics(t *testing.T) {
+	m, err := Execute(platform.AWSLambda(), workload.Sort{}.Demand(), 300, 5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Degree != 5 || m.Instances != 60 {
+		t.Fatalf("identity wrong: %+v", m)
+	}
+	if m.TotalService <= 0 || m.ExpenseUSD <= 0 {
+		t.Fatalf("degenerate metrics: %+v", m)
+	}
+}
+
+func TestRunProPackBeatsBaseline(t *testing.T) {
+	cfg := platform.AWSLambda()
+	d := workload.StatelessCost{}.Demand()
+	const c = 3000
+	run, err := RunProPack(cfg, d, c, core.Balanced(), 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if run.Plan.Degree < 2 {
+		t.Fatalf("expected packing at C=%d, got degree %d", c, run.Plan.Degree)
+	}
+	base, err := Execute(cfg, d, c, 1, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	withOv := run.MetricsWithOverhead()
+	if withOv.TotalService >= base.TotalService {
+		t.Fatalf("ProPack no faster: %g vs %g", withOv.TotalService, base.TotalService)
+	}
+	if withOv.ExpenseUSD >= base.ExpenseUSD {
+		t.Fatalf("ProPack no cheaper even with overhead: $%g vs $%g",
+			withOv.ExpenseUSD, base.ExpenseUSD)
+	}
+	if withOv.ExpenseUSD <= run.Metrics.ExpenseUSD {
+		t.Fatal("overhead accounting did not increase expense")
+	}
+}
+
+func TestRunProPackQoSMeetsBound(t *testing.T) {
+	cfg := platform.AWSLambda()
+	d := workload.Xapian{}.Demand()
+	const c = 2000
+	// First find what the expense-only tail looks like, then bound between
+	// that and the best possible.
+	exp, err := RunProPack(cfg, d, c, core.ExpenseOnly(), 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc, err := RunProPack(cfg, d, c, core.ServiceOnly(), 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bound := (exp.Metrics.TailService + svc.Metrics.TailService) / 2
+	run, w, err := RunProPackQoS(cfg, d, c, bound, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Service <= 0 || w.Service > 1 {
+		t.Fatalf("degenerate QoS weights: %+v", w)
+	}
+	if run.Metrics.TailService > bound*1.1 { // modeled bound, 10% slack on observed
+		t.Fatalf("observed tail %g far above QoS bound %g", run.Metrics.TailService, bound)
+	}
+}
+
+// TestWarmReuseStacksWithPacking: a pool covering the whole packed burst
+// removes the remaining cold-start path, so the time to the last start
+// (scaling time, measured from invocation) drops — reuse and packing
+// compose. Total service time, measured from the *first* start, is
+// insensitive to uniform provisioning savings by construction.
+func TestWarmReuseStacksWithPacking(t *testing.T) {
+	cfg := platform.AWSLambda()
+	d := workload.Video{}.Demand()
+	const c, deg = 1600, 8 // 200 instances
+	packed, err := Execute(cfg, d, c, deg, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stacked, err := ExecuteWarm(cfg, d, c, deg, 200, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stacked.ScalingTime >= packed.ScalingTime {
+		t.Fatalf("warm reuse should cut the packed burst's scaling time: %g vs %g",
+			stacked.ScalingTime, packed.ScalingTime)
+	}
+	if stacked.TotalService > packed.TotalService*1.02 {
+		t.Fatalf("stacking should not hurt service: %g vs %g",
+			stacked.TotalService, packed.TotalService)
+	}
+	// Oversized pools clamp rather than error.
+	if _, err := ExecuteWarm(cfg, d, c, deg, 10_000, 5); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ExecuteWarm(cfg, d, c, deg, -1, 5); err == nil {
+		t.Fatal("negative pool accepted")
+	}
+}

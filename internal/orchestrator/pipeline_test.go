@@ -1,0 +1,96 @@
+package orchestrator
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/interfere"
+	"repro/internal/platform"
+	"repro/internal/workload"
+)
+
+// sortPipeline models the Sort benchmark as its two real phases: a light
+// mapper wave partitioning the input, then the reducer wave the paper's
+// Sort functions implement.
+func sortPipeline(c int, degrees [2]int) []Stage {
+	mapper := interfere.Demand{
+		CPUSeconds: 8, IOSeconds: 12, MemoryMB: 256, MemBWMBps: 2000,
+		InputMB: 16, OutputMB: 16, ShuffleFraction: 1,
+	}
+	return []Stage{
+		{Name: "map", Demand: mapper, Count: c, Degree: degrees[0]},
+		{Name: "reduce", Demand: workload.Sort{}.Demand(), Count: c, Degree: degrees[1]},
+	}
+}
+
+func TestPipelineBarrierAddsStages(t *testing.T) {
+	cfg := platform.AWSLambda()
+	res, err := RunPipeline(cfg, sortPipeline(500, [2]int{1, 1}), core.Balanced(), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Stages) != 2 || res.Degrees[0] != 1 || res.Degrees[1] != 1 {
+		t.Fatalf("unexpected stages/degrees: %v", res.Degrees)
+	}
+	sum := res.Stages[0].TotalService + res.Stages[1].TotalService
+	if math.Abs(res.TotalServiceSec-sum) > 1e-9 {
+		t.Fatalf("pipeline makespan %g should be the stage sum %g", res.TotalServiceSec, sum)
+	}
+	if res.ExpenseUSD <= 0 {
+		t.Fatal("no bill")
+	}
+	if res.Overhead.TotalUSD() != 0 {
+		t.Fatal("fixed-degree pipeline should not probe")
+	}
+}
+
+func TestPipelineProPackPlansEachStage(t *testing.T) {
+	cfg := platform.AWSLambda()
+	const c = 2000
+	planned, err := RunPipeline(cfg, sortPipeline(c, [2]int{0, 0}), core.Balanced(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseline, err := RunPipeline(cfg, sortPipeline(c, [2]int{1, 1}), core.Balanced(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, d := range planned.Degrees {
+		if d < 2 {
+			t.Fatalf("stage %d not packed: degree %d", i, d)
+		}
+	}
+	// The short I/O-heavy mapper should pack more than the reducer.
+	if planned.Degrees[0] <= planned.Degrees[1] {
+		t.Fatalf("mapper (%d) should pack more than reducer (%d)",
+			planned.Degrees[0], planned.Degrees[1])
+	}
+	if planned.TotalServiceSec >= baseline.TotalServiceSec {
+		t.Fatalf("planned pipeline no faster: %g vs %g",
+			planned.TotalServiceSec, baseline.TotalServiceSec)
+	}
+	if planned.ExpenseUSD >= baseline.ExpenseUSD {
+		t.Fatalf("planned pipeline no cheaper: $%g vs $%g",
+			planned.ExpenseUSD, baseline.ExpenseUSD)
+	}
+	if planned.Overhead.TotalUSD() <= 0 {
+		t.Fatal("planning overhead not accounted")
+	}
+}
+
+func TestPipelineValidation(t *testing.T) {
+	cfg := platform.AWSLambda()
+	if _, err := RunPipeline(cfg, nil, core.Balanced(), 1); err == nil {
+		t.Fatal("empty pipeline accepted")
+	}
+	bad := sortPipeline(10, [2]int{1, 1})
+	bad[0].Count = 0
+	if _, err := RunPipeline(cfg, bad, core.Balanced(), 1); err == nil {
+		t.Fatal("zero-count stage accepted")
+	}
+	bad = sortPipeline(10, [2]int{-1, 1})
+	if _, err := RunPipeline(cfg, bad, core.Balanced(), 1); err == nil {
+		t.Fatal("negative degree accepted")
+	}
+}

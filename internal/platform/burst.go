@@ -1,0 +1,548 @@
+package platform
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/interfere"
+	"repro/internal/sim"
+	"repro/internal/storage"
+)
+
+// ErrExecLimit is returned when an instance's execution time would exceed
+// the platform's limit (e.g. 15 minutes on Lambda) — the failure mode the
+// paper notes for long functions at high packing degrees.
+var ErrExecLimit = errors.New("platform: execution exceeds platform limit")
+
+// ErrStartFailed is returned when an instance exhausts its start retries
+// under failure injection.
+var ErrStartFailed = errors.New("platform: instance failed to start after retries")
+
+// Burst describes one concurrent invocation wave: C logical functions
+// packed at degree P, yielding ceil(C/P) function instances spawned
+// simultaneously (the Step Functions map-state pattern).
+type Burst struct {
+	// Demand is the per-function resource profile.
+	Demand interfere.Demand
+	// Functions is C, the application's requested concurrency.
+	Functions int
+	// Degree is P, the packing degree; 1 is the traditional baseline.
+	Degree int
+	// Warm is the number of instances served from a warm pool (reused
+	// instances skip build, ship, and boot — the Pywren optimization).
+	Warm int
+	// StaggerSec spaces out invocations: instance k is invoked at
+	// k·StaggerSec instead of all at t=0. 0 is the usual simultaneous
+	// burst. (Staggering is the latency-hiding alternative the paper
+	// rejects in Sec. 4: it empties the control-plane queues but delays the
+	// last start by C·StaggerSec.)
+	StaggerSec float64
+	// Seed drives execution-time jitter.
+	Seed int64
+}
+
+// Instances is the number of function instances the burst spawns:
+// ceil(Functions / Degree).
+func (b Burst) Instances() int {
+	return (b.Functions + b.Degree - 1) / b.Degree
+}
+
+// Validate reports an error for malformed bursts.
+func (b Burst) Validate() error {
+	if err := b.Demand.Validate(); err != nil {
+		return err
+	}
+	switch {
+	case b.Functions < 1:
+		return fmt.Errorf("platform: burst needs ≥1 function, have %d", b.Functions)
+	case b.Degree < 1:
+		return fmt.Errorf("platform: packing degree must be ≥1, have %d", b.Degree)
+	case b.Warm < 0:
+		return fmt.Errorf("platform: negative warm count %d", b.Warm)
+	case b.StaggerSec < 0:
+		return fmt.Errorf("platform: negative stagger %g", b.StaggerSec)
+	}
+	return nil
+}
+
+// Timeline records one instance's trip through the control plane. All times
+// are seconds since the burst's invocation.
+type Timeline struct {
+	Index     int
+	Degree    int  // functions packed in this instance
+	Warm      bool // served from the warm pool
+	Retries   int  // start attempts beyond the first (failure injection)
+	SchedDone float64
+	BuildDone float64 // == SchedDone for warm instances
+	ShipDone  float64 // == SchedDone for warm instances
+	Start     float64 // execution begins
+	End       float64 // execution ends
+}
+
+// ExecSeconds is the instance's billed execution duration.
+func (t Timeline) ExecSeconds() float64 { return t.End - t.Start }
+
+// Result is the outcome of simulating one burst.
+type Result struct {
+	Config    Config
+	Burst     Burst
+	Timelines []Timeline
+	// Bins is non-nil for heterogeneous (RunMixed) bursts and records each
+	// instance's resident function set; Burst.Degree is 0 in that case.
+	Bins []Bin
+
+	// Expense breakdown in USD.
+	ComputeUSD float64
+	RequestUSD float64
+	StorageUSD float64
+
+	// Per-stage aggregate busy time, normalized per server: how long each
+	// control-plane resource actually worked for this burst. The stages
+	// pipeline, so these overlap and need not sum to the scaling time.
+	SchedBusySec float64
+	BuildBusySec float64
+	ShipBusySec  float64
+}
+
+// ExpenseUSD is the total bill for the burst.
+func (r *Result) ExpenseUSD() float64 { return r.ComputeUSD + r.RequestUSD + r.StorageUSD }
+
+// Instances is the number of function instances the burst actually spawned
+// (valid for both homogeneous and mixed bursts).
+func (r *Result) Instances() int { return len(r.Timelines) }
+
+// Run simulates one invocation burst on the platform and returns the
+// per-instance timelines plus the bill.
+func Run(cfg Config, b Burst) (*Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if err := b.Validate(); err != nil {
+		return nil, err
+	}
+	n := b.Instances()
+	degrees := make([]int, n)
+	remaining := b.Functions
+	for i := range degrees {
+		d := b.Degree
+		if remaining < d {
+			d = remaining
+		}
+		degrees[i] = d
+		remaining -= d
+	}
+
+	// Execution durations are determined before the control-plane race so
+	// any platform-limit violation fails fast and deterministically.
+	rng := sim.Stream(b.Seed, hashName(cfg.Name))
+	execs := make([]float64, n)
+	for i, d := range degrees {
+		base := interfere.ExecSeconds(b.Demand, cfg.Shape, d)
+		if base > cfg.MaxExecSec {
+			return nil, fmt.Errorf("%w: degree %d needs %.1fs > %.0fs on %s",
+				ErrExecLimit, d, base, cfg.MaxExecSec, cfg.Name)
+		}
+		execs[i] = base * rng.Jitter(cfg.JitterRel)
+	}
+
+	timelines := make([]Timeline, n)
+	for i := range timelines {
+		timelines[i] = Timeline{Index: i, Degree: degrees[i], Warm: i < b.Warm}
+	}
+	res, err := runControlPlane(cfg, b, timelines, execs, rng)
+	if err != nil {
+		return nil, err
+	}
+	res.bill(func(i int) []demandGroup {
+		return []demandGroup{{d: b.Demand, n: timelines[i].Degree}}
+	})
+	return res, nil
+}
+
+// demandGroup is a set of identical functions co-resident in one instance;
+// billing treats same-demand functions jointly so shared-input and shuffle
+// locality apply within the group.
+type demandGroup struct {
+	d interfere.Demand
+	n int
+}
+
+// runControlPlane simulates scheduling, image build, shipping, boot, and
+// execution for a set of instances whose Degree/Warm fields and execution
+// durations are already fixed. It fills in the timelines and returns the
+// Result skeleton (no billing).
+func runControlPlane(cfg Config, b Burst, timelines []Timeline, execs []float64, rng *sim.RNG) (*Result, error) {
+	n := len(timelines)
+	eng := sim.NewEngine()
+	sched := sim.NewStation(eng, cfg.SchedServers)
+	buildSt := sim.NewStation(eng, cfg.BuildServers)
+	shipSt := sim.NewStation(eng, cfg.ShipServers)
+
+	podSize := cfg.PodSize
+	if podSize < 1 {
+		podSize = 1
+	}
+	type podState struct {
+		shipped   bool
+		shippedAt float64
+		waiting   []int
+	}
+	pods := make([]podState, (n+podSize-1)/podSize)
+
+	maxRetries := cfg.MaxStartRetries
+	if maxRetries == 0 {
+		maxRetries = 3
+	}
+	var burstErr error
+	var submitSched func(i int)
+
+	// Account-level throttling: at most ConcurrencyLimit instances may be
+	// admitted (scheduled or running) at once; the rest wait FIFO for a
+	// running instance to finish.
+	var running int
+	var throttleQ []int
+	release := func() {
+		running--
+		if len(throttleQ) > 0 {
+			next := throttleQ[0]
+			throttleQ = throttleQ[1:]
+			running++
+			submitSched(next)
+		}
+	}
+	admit := func(i int) {
+		if cfg.ConcurrencyLimit > 0 && running >= cfg.ConcurrencyLimit {
+			throttleQ = append(throttleQ, i)
+			return
+		}
+		running++
+		submitSched(i)
+	}
+
+	finish := func(i int) {
+		timelines[i].Start = eng.Now()
+		eng.After(execs[i], func() {
+			timelines[i].End = eng.Now()
+			release()
+		})
+	}
+	boot := func(i int) {
+		eng.After(cfg.BootSec, func() {
+			if cfg.StartFailureProb > 0 && rng.Float64() < cfg.StartFailureProb {
+				// Cold start failed: back off and re-enter the scheduler
+				// (the admission slot stays held through retries).
+				timelines[i].Retries++
+				if timelines[i].Retries > maxRetries {
+					if burstErr == nil {
+						burstErr = fmt.Errorf("%w: instance %d after %d attempts",
+							ErrStartFailed, i, maxRetries+1)
+					}
+					release()
+					return
+				}
+				eng.After(cfg.RetryDelaySec, func() { submitSched(i) })
+				return
+			}
+			finish(i)
+		})
+	}
+	warmStart := func(i int) {
+		eng.After(cfg.WarmStartSec, func() { finish(i) })
+	}
+	podShipped := func(p int) {
+		pods[p].shipped = true
+		pods[p].shippedAt = eng.Now()
+		for _, w := range pods[p].waiting {
+			timelines[w].BuildDone = pods[p].shippedAt
+			timelines[w].ShipDone = pods[p].shippedAt
+			boot(w)
+		}
+		pods[p].waiting = nil
+	}
+
+	submitSched = func(i int) {
+		sched.Submit(
+			func() float64 {
+				return cfg.SchedBaseSec + cfg.SchedPerBusySec*float64(sched.Served)
+			},
+			func(_, end float64) {
+				timelines[i].SchedDone = end
+				if timelines[i].Warm {
+					timelines[i].BuildDone = end
+					timelines[i].ShipDone = end
+					warmStart(i)
+					return
+				}
+				p := i / podSize
+				leader := p*podSize == i || allWarmBefore(timelines, p*podSize, i)
+				if pods[p].shipped {
+					timelines[i].BuildDone = pods[p].shippedAt
+					timelines[i].ShipDone = pods[p].shippedAt
+					boot(i)
+					return
+				}
+				if !leader {
+					pods[p].waiting = append(pods[p].waiting, i)
+					return
+				}
+				buildSt.Submit(
+					func() float64 {
+						return cfg.BuildSec + cfg.BuildGrowthSec*float64(buildSt.Served)
+					},
+					func(_, buildEnd float64) {
+						timelines[i].BuildDone = buildEnd
+						shipSt.Submit(
+							func() float64 {
+								return cfg.ShipSec + cfg.ShipGrowthSec*float64(shipSt.Served)
+							},
+							func(_, shipEnd float64) {
+								timelines[i].ShipDone = shipEnd
+								boot(i)
+								podShipped(p)
+							})
+					})
+			})
+	}
+
+	// Every instance requests placement at t=0 (or at its staggered arrival
+	// time), subject to account-level throttling. The scheduler's search
+	// cost grows with the number of placements already made — the paper's
+	// "scheduling algorithm needs to search and find more places" effect.
+	for i := 0; i < n; i++ {
+		i := i
+		if b.StaggerSec > 0 {
+			eng.At(float64(i)*b.StaggerSec, func() { admit(i) })
+		} else {
+			admit(i)
+		}
+	}
+	eng.Run()
+	if burstErr != nil {
+		return nil, burstErr
+	}
+
+	return &Result{
+		Config:       cfg,
+		Burst:        b,
+		Timelines:    timelines,
+		SchedBusySec: sched.BusySeconds / float64(cfg.SchedServers),
+		BuildBusySec: buildSt.BusySeconds / float64(cfg.BuildServers),
+		ShipBusySec:  shipSt.BusySeconds / float64(cfg.ShipServers),
+	}, nil
+}
+
+// allWarmBefore reports whether every instance in [lo, i) is warm, which
+// promotes i to pod leader (warm instances never build).
+func allWarmBefore(ts []Timeline, lo, i int) bool {
+	for j := lo; j < i; j++ {
+		if !ts[j].Warm {
+			return false
+		}
+	}
+	return true
+}
+
+// bill computes the burst's expense: compute GB·seconds, per-request fees,
+// and storage traffic (with the packing-locality savings on shuffle and
+// shared input described in interfere.Demand). groupsOf describes instance
+// i's resident functions as same-demand groups.
+func (r *Result) bill(groupsOf func(i int) []demandGroup) {
+	cfg := r.Config
+	meter, err := storage.NewMeter(cfg.Storage, cfg.StorageGBps)
+	if err != nil {
+		panic(err) // Config.Validate guarantees positive bandwidth
+	}
+	memGB := cfg.MemoryGB()
+	for _, t := range r.Timelines {
+		r.ComputeUSD += t.ExecSeconds() * memGB * cfg.GBSecondUSD
+		r.RequestUSD += cfg.PerRequestUSD
+		for _, g := range groupsOf(t.Index) {
+			billGroup(meter, g.d, g.n)
+		}
+	}
+	r.StorageUSD = meter.CostUSD()
+}
+
+// billGroup meters the storage traffic of n same-demand functions resident
+// in one instance.
+func billGroup(meter *storage.Meter, d interfere.Demand, n int) {
+	// Input fetches: one per function, or one per instance group when all
+	// functions of the application read the same object.
+	if d.SharedInput {
+		meter.RecordGet(d.InputMB)
+	} else {
+		for k := 0; k < n; k++ {
+			meter.RecordGet(d.InputMB)
+		}
+	}
+	// Shuffle: with neighbor partners, (n−1)/n of the group's n·OutputMB·SF
+	// shuffle traffic is local, leaving OutputMB·SF remote per group — so
+	// total remote shuffle shrinks by 1/n relative to no packing.
+	if d.ShuffleFraction > 0 {
+		remote := d.OutputMB * d.ShuffleFraction
+		meter.RecordPut(remote)
+		meter.RecordGet(remote)
+	}
+	// Final (non-shuffle) output always lands in the store.
+	for k := 0; k < n; k++ {
+		meter.RecordPut(d.OutputMB * (1 - d.ShuffleFraction))
+	}
+}
+
+// hashName gives each platform its own jitter stream so cross-platform
+// comparisons are not artificially correlated.
+func hashName(name string) uint64 {
+	var h uint64 = 14695981039346656037
+	for i := 0; i < len(name); i++ {
+		h ^= uint64(name[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
+// --- Result metrics (the paper's figures of merit, Sec. 3) ---
+
+// ScalingTime is the time between invocation and the start of the last
+// instance (equivalently: first-to-last start spread plus the first
+// instance's provisioning delay).
+func (r *Result) ScalingTime() float64 {
+	var maxStart float64
+	for _, t := range r.Timelines {
+		if t.Start > maxStart {
+			maxStart = t.Start
+		}
+	}
+	return maxStart
+}
+
+// firstStart is the provisioning delay of the first instance to start.
+func (r *Result) firstStart() float64 {
+	first := math.Inf(1)
+	for _, t := range r.Timelines {
+		if t.Start < first {
+			first = t.Start
+		}
+	}
+	return first
+}
+
+// TotalServiceTime is the time between the start of the first instance and
+// the end of the last one ("total service time" in the paper).
+func (r *Result) TotalServiceTime() float64 {
+	var maxEnd float64
+	for _, t := range r.Timelines {
+		if t.End > maxEnd {
+			maxEnd = t.End
+		}
+	}
+	return maxEnd - r.firstStart()
+}
+
+// ServiceTimeAtQuantile is the time until the first q% of instances have
+// finished, measured from the first start (q=95 is the paper's "tail",
+// q=50 its "median" service time).
+func (r *Result) ServiceTimeAtQuantile(q float64) float64 {
+	ends := make([]float64, len(r.Timelines))
+	for i, t := range r.Timelines {
+		ends[i] = t.End
+	}
+	sortFloats(ends)
+	idx := int(math.Ceil(q/100*float64(len(ends)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(ends) {
+		idx = len(ends) - 1
+	}
+	return ends[idx] - r.firstStart()
+}
+
+// FunctionSeconds is the summed execution time across all instances — the
+// "function hours" resource-accounting metric of paper Fig. 12 (×3600).
+func (r *Result) FunctionSeconds() float64 {
+	var s float64
+	for _, t := range r.Timelines {
+		s += t.ExecSeconds()
+	}
+	return s
+}
+
+// MeanExecSeconds is the average per-instance execution time.
+func (r *Result) MeanExecSeconds() float64 {
+	if len(r.Timelines) == 0 {
+		return 0
+	}
+	return r.FunctionSeconds() / float64(len(r.Timelines))
+}
+
+// StageSpans reports, for each control-plane stage, the largest span any
+// instance of the burst experienced in it (queue wait plus service):
+// scheduling (invocation → placement), image build, and shipping. Unlike
+// StageBreakdown these are per-stage maxima, so they expose each stage's
+// contention growth with concurrency even when a single stage dominates
+// the last instance's critical path (paper Fig. 2).
+func (r *Result) StageSpans() (sched, build, ship float64) {
+	for _, t := range r.Timelines {
+		if t.SchedDone > sched {
+			sched = t.SchedDone
+		}
+		if b := t.BuildDone - t.SchedDone; b > build {
+			build = b
+		}
+		if s := t.ShipDone - t.BuildDone; s > ship {
+			ship = s
+		}
+	}
+	return sched, build, ship
+}
+
+// StageBreakdown decomposes the scaling time along the critical path of the
+// last instance to start: time in scheduling, image build, shipping, and
+// boot. The four components sum to ScalingTime (paper Fig. 2).
+func (r *Result) StageBreakdown() (sched, build, ship, boot float64) {
+	var last Timeline
+	for _, t := range r.Timelines {
+		if t.Start >= last.Start {
+			last = t
+		}
+	}
+	return last.SchedDone,
+		last.BuildDone - last.SchedDone,
+		last.ShipDone - last.BuildDone,
+		last.Start - last.ShipDone
+}
+
+func sortFloats(xs []float64) {
+	// Insertion sort is adequate for small n, but bursts have thousands of
+	// instances; use a simple heapsort to stay allocation-free.
+	heapify(xs)
+	for end := len(xs) - 1; end > 0; end-- {
+		xs[0], xs[end] = xs[end], xs[0]
+		siftDown(xs[:end], 0)
+	}
+}
+
+func heapify(xs []float64) {
+	for i := len(xs)/2 - 1; i >= 0; i-- {
+		siftDown(xs, i)
+	}
+}
+
+func siftDown(xs []float64, i int) {
+	for {
+		l, rr := 2*i+1, 2*i+2
+		largest := i
+		if l < len(xs) && xs[l] > xs[largest] {
+			largest = l
+		}
+		if rr < len(xs) && xs[rr] > xs[largest] {
+			largest = rr
+		}
+		if largest == i {
+			return
+		}
+		xs[i], xs[largest] = xs[largest], xs[i]
+		i = largest
+	}
+}

@@ -1,0 +1,112 @@
+package platform
+
+import (
+	"fmt"
+
+	"repro/internal/interfere"
+	"repro/internal/sim"
+)
+
+// Heterogeneous packing: the extension sketched in the paper's Sec. 5
+// discussion ("packing functions of different characteristics"). A
+// MixedBurst spawns instances whose resident functions may come from
+// different applications; everything else — control plane, billing rules,
+// metrics — is shared with the homogeneous path.
+
+// Bin is one instance's resident function set.
+type Bin struct {
+	Demands []interfere.Demand
+}
+
+// Degree is the number of functions packed in the bin.
+func (b Bin) Degree() int { return len(b.Demands) }
+
+// MixedBurst is a concurrent invocation wave of pre-binned instances.
+type MixedBurst struct {
+	Bins []Bin
+	// Warm instances (a prefix of Bins) skip build, ship, and boot.
+	Warm int
+	// StaggerSec spaces out invocations as in Burst.
+	StaggerSec float64
+	// Seed drives execution-time jitter.
+	Seed int64
+}
+
+// Functions is the total logical function count across bins.
+func (m MixedBurst) Functions() int {
+	n := 0
+	for _, b := range m.Bins {
+		n += b.Degree()
+	}
+	return n
+}
+
+// Validate reports an error for malformed mixed bursts.
+func (m MixedBurst) Validate(shape interfere.Shape) error {
+	if len(m.Bins) == 0 {
+		return fmt.Errorf("platform: mixed burst with no bins")
+	}
+	if m.Warm < 0 {
+		return fmt.Errorf("platform: negative warm count %d", m.Warm)
+	}
+	if m.StaggerSec < 0 {
+		return fmt.Errorf("platform: negative stagger %g", m.StaggerSec)
+	}
+	for i, b := range m.Bins {
+		if err := shape.ValidateMixed(b.Demands); err != nil {
+			return fmt.Errorf("platform: bin %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// RunMixed simulates a heterogeneous burst. The returned Result's Burst
+// field carries only the total function count (Degree is 0: there is no
+// single packing degree); Result.Bins holds the composition.
+func RunMixed(cfg Config, m MixedBurst) (*Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if err := m.Validate(cfg.Shape); err != nil {
+		return nil, err
+	}
+	n := len(m.Bins)
+	rng := sim.Stream(m.Seed, hashName(cfg.Name)^0x6d69786564) // "mixed"
+	execs := make([]float64, n)
+	timelines := make([]Timeline, n)
+	for i, bin := range m.Bins {
+		base := interfere.ExecSecondsMixed(bin.Demands, cfg.Shape)
+		if base > cfg.MaxExecSec {
+			return nil, fmt.Errorf("%w: bin %d needs %.1fs > %.0fs on %s",
+				ErrExecLimit, i, base, cfg.MaxExecSec, cfg.Name)
+		}
+		execs[i] = base * rng.Jitter(cfg.JitterRel)
+		timelines[i] = Timeline{Index: i, Degree: bin.Degree(), Warm: i < m.Warm}
+	}
+
+	pseudo := Burst{Functions: m.Functions(), Degree: 0, Warm: m.Warm, StaggerSec: m.StaggerSec, Seed: m.Seed}
+	res, err := runControlPlane(cfg, pseudo, timelines, execs, rng)
+	if err != nil {
+		return nil, err
+	}
+	res.Bins = m.Bins
+	res.bill(func(i int) []demandGroup { return groupDemands(m.Bins[i].Demands) })
+	return res, nil
+}
+
+// groupDemands collapses a bin's members into same-demand groups so billing
+// can apply shared-input and shuffle-locality rules per application.
+func groupDemands(ds []interfere.Demand) []demandGroup {
+	var groups []demandGroup
+outer:
+	for _, d := range ds {
+		for i := range groups {
+			if groups[i].d == d {
+				groups[i].n++
+				continue outer
+			}
+		}
+		groups = append(groups, demandGroup{d: d, n: 1})
+	}
+	return groups
+}

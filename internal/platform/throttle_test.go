@@ -1,0 +1,95 @@
+package platform
+
+import (
+	"testing"
+
+	"repro/internal/workload"
+)
+
+func TestThrottlingCapsConcurrency(t *testing.T) {
+	cfg := AWSLambda()
+	cfg.ConcurrencyLimit = 100
+	d := workload.StatelessCost{}.Demand()
+	res, err := Run(cfg, Burst{Demand: d, Functions: 300, Degree: 1, Seed: 41})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// At no virtual instant may more than 100 instances be running. Check
+	// by sweeping the start/end intervals.
+	type event struct {
+		at    float64
+		delta int
+	}
+	var evs []event
+	for _, tl := range res.Timelines {
+		evs = append(evs, event{tl.Start, 1}, event{tl.End, -1})
+	}
+	// Sort by time, ends before starts at ties.
+	for i := 1; i < len(evs); i++ {
+		for j := i; j > 0 && (evs[j].at < evs[j-1].at ||
+			(evs[j].at == evs[j-1].at && evs[j].delta < evs[j-1].delta)); j-- {
+			evs[j], evs[j-1] = evs[j-1], evs[j]
+		}
+	}
+	cur, peak := 0, 0
+	for _, e := range evs {
+		cur += e.delta
+		if cur > peak {
+			peak = cur
+		}
+	}
+	if peak > 100 {
+		t.Fatalf("throttle violated: %d instances ran concurrently", peak)
+	}
+	// Throttled waves must stretch total service well beyond the unlimited
+	// case.
+	unlimited, err := Run(AWSLambda(), Burst{Demand: d, Functions: 300, Degree: 1, Seed: 41})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TotalServiceTime() <= unlimited.TotalServiceTime() {
+		t.Fatalf("throttling should stretch service: %g vs %g",
+			res.TotalServiceTime(), unlimited.TotalServiceTime())
+	}
+	// Every instance must still complete.
+	for _, tl := range res.Timelines {
+		if tl.End <= tl.Start {
+			t.Fatalf("instance %d never ran", tl.Index)
+		}
+	}
+}
+
+// TestPackingAvoidsThrottling demonstrates the extra benefit: packing keeps
+// the instance count under the account limit, so the packed burst never
+// throttles while the unpacked one serializes into waves.
+func TestPackingAvoidsThrottling(t *testing.T) {
+	cfg := AWSLambda()
+	cfg.ConcurrencyLimit = 200
+	d := workload.Video{}.Demand()
+	const c = 1000
+	unpacked, err := Run(cfg, Burst{Demand: d, Functions: c, Degree: 1, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	packed, err := Run(cfg, Burst{Demand: d, Functions: c, Degree: 8, Seed: 42}) // 125 ≤ 200 instances
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Unpacked: 1000 functions through a 200-slot account = ≥5 waves of
+	// ~100 s — service must exceed 400 s. Packed: one wave.
+	if unpacked.TotalServiceTime() < 400 {
+		t.Fatalf("unpacked burst should serialize into waves: %g", unpacked.TotalServiceTime())
+	}
+	if packed.TotalServiceTime() >= unpacked.TotalServiceTime()/2 {
+		t.Fatalf("packing should dodge throttling: %g vs %g",
+			packed.TotalServiceTime(), unpacked.TotalServiceTime())
+	}
+}
+
+func TestThrottleValidation(t *testing.T) {
+	cfg := AWSLambda()
+	cfg.ConcurrencyLimit = -1
+	if cfg.Validate() == nil {
+		t.Fatal("negative limit accepted")
+	}
+}

@@ -1,0 +1,106 @@
+// Package sim is a small deterministic discrete-event simulation engine.
+//
+// The serverless platform models in internal/platform and internal/funcx are
+// built on it: invocations flow through queued stations (scheduler, image
+// builder, image shipper, host boot) whose contention produces the scaling
+// behaviour ProPack then has to rediscover by regression.
+//
+// Time is a float64 in seconds of virtual time. Event ordering is total:
+// ties on time break on insertion sequence, so runs are reproducible.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Event is a scheduled callback in virtual time.
+type event struct {
+	at  float64
+	seq uint64
+	fn  func()
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+
+// Engine owns the virtual clock and the pending-event heap. The zero value
+// is not ready; use NewEngine.
+type Engine struct {
+	now    float64
+	seq    uint64
+	events eventHeap
+}
+
+// NewEngine returns an engine with the clock at time zero.
+func NewEngine() *Engine {
+	e := &Engine{}
+	heap.Init(&e.events)
+	return e
+}
+
+// Now returns the current virtual time in seconds.
+func (e *Engine) Now() float64 { return e.now }
+
+// At schedules fn to run at absolute virtual time t. Scheduling in the past
+// panics — it would silently corrupt causality.
+func (e *Engine) At(t float64, fn func()) {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: scheduling event at %g before now %g", t, e.now))
+	}
+	e.seq++
+	heap.Push(&e.events, &event{at: t, seq: e.seq, fn: fn})
+}
+
+// After schedules fn to run d seconds of virtual time from now. Negative
+// delays panic.
+func (e *Engine) After(d float64, fn func()) {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative delay %g", d))
+	}
+	e.At(e.now+d, fn)
+}
+
+// Pending reports the number of events not yet dispatched.
+func (e *Engine) Pending() int { return e.events.Len() }
+
+// Run dispatches events in time order until none remain, returning the final
+// virtual time.
+func (e *Engine) Run() float64 {
+	for e.events.Len() > 0 {
+		ev := heap.Pop(&e.events).(*event)
+		e.now = ev.at
+		ev.fn()
+	}
+	return e.now
+}
+
+// RunUntil dispatches events with time ≤ deadline, then advances the clock
+// to the deadline. Events scheduled beyond it stay pending.
+func (e *Engine) RunUntil(deadline float64) {
+	for e.events.Len() > 0 && e.events[0].at <= deadline {
+		ev := heap.Pop(&e.events).(*event)
+		e.now = ev.at
+		ev.fn()
+	}
+	if deadline > e.now {
+		e.now = deadline
+	}
+}

@@ -1,0 +1,214 @@
+package sim
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestEngineOrdering(t *testing.T) {
+	eng := NewEngine()
+	var order []int
+	eng.At(3, func() { order = append(order, 3) })
+	eng.At(1, func() { order = append(order, 1) })
+	eng.At(2, func() { order = append(order, 2) })
+	end := eng.Run()
+	if end != 3 {
+		t.Fatalf("final time %g, want 3", end)
+	}
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("dispatch order %v", order)
+	}
+}
+
+func TestEngineTieBreakFIFO(t *testing.T) {
+	eng := NewEngine()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		eng.At(5, func() { order = append(order, i) })
+	}
+	eng.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("simultaneous events reordered: %v", order)
+		}
+	}
+}
+
+func TestEngineNestedScheduling(t *testing.T) {
+	eng := NewEngine()
+	var times []float64
+	eng.At(1, func() {
+		times = append(times, eng.Now())
+		eng.After(2, func() { times = append(times, eng.Now()) })
+	})
+	eng.Run()
+	if len(times) != 2 || times[0] != 1 || times[1] != 3 {
+		t.Fatalf("nested times %v", times)
+	}
+}
+
+func TestEnginePastSchedulingPanics(t *testing.T) {
+	eng := NewEngine()
+	eng.At(5, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("scheduling in the past should panic")
+			}
+		}()
+		eng.At(1, func() {})
+	})
+	eng.Run()
+
+	defer func() {
+		if recover() == nil {
+			t.Error("negative delay should panic")
+		}
+	}()
+	eng.After(-1, func() {})
+}
+
+func TestEngineRunUntil(t *testing.T) {
+	eng := NewEngine()
+	fired := 0
+	eng.At(1, func() { fired++ })
+	eng.At(2, func() { fired++ })
+	eng.At(10, func() { fired++ })
+	eng.RunUntil(5)
+	if fired != 2 {
+		t.Fatalf("fired %d events before deadline, want 2", fired)
+	}
+	if eng.Now() != 5 {
+		t.Fatalf("clock %g, want 5", eng.Now())
+	}
+	if eng.Pending() != 1 {
+		t.Fatalf("pending %d, want 1", eng.Pending())
+	}
+	eng.Run()
+	if fired != 3 || eng.Now() != 10 {
+		t.Fatalf("after Run: fired=%d now=%g", fired, eng.Now())
+	}
+}
+
+func TestStationSingleServerSerializes(t *testing.T) {
+	eng := NewEngine()
+	st := NewStation(eng, 1)
+	var ends []float64
+	for i := 0; i < 4; i++ {
+		st.Submit(func() float64 { return 2 }, func(_, end float64) { ends = append(ends, end) })
+	}
+	eng.Run()
+	want := []float64{2, 4, 6, 8}
+	for i, e := range ends {
+		if e != want[i] {
+			t.Fatalf("ends %v, want %v", ends, want)
+		}
+	}
+	if st.Served != 4 || st.Busy() != 0 || st.QueueLen() != 0 {
+		t.Fatalf("station state: served=%d busy=%d queue=%d", st.Served, st.Busy(), st.QueueLen())
+	}
+}
+
+func TestStationMultiServerParallelism(t *testing.T) {
+	eng := NewEngine()
+	st := NewStation(eng, 3)
+	var ends []float64
+	for i := 0; i < 6; i++ {
+		st.Submit(func() float64 { return 5 }, func(_, end float64) { ends = append(ends, end) })
+	}
+	eng.Run()
+	// Two waves of 3: ends at 5,5,5,10,10,10.
+	for i, e := range ends {
+		want := 5.0
+		if i >= 3 {
+			want = 10
+		}
+		if e != want {
+			t.Fatalf("ends %v", ends)
+		}
+	}
+}
+
+func TestStationStateDependentService(t *testing.T) {
+	// Service time grows with number already served — the scheduler-search
+	// pattern. Completion of job k is sum_{i<=k} (base + i*step).
+	eng := NewEngine()
+	st := NewStation(eng, 1)
+	const base, step = 1.0, 0.5
+	var last float64
+	for i := 0; i < 10; i++ {
+		st.Submit(func() float64 { return base + float64(st.Served)*step },
+			func(_, end float64) { last = end })
+	}
+	eng.Run()
+	want := 0.0
+	for i := 0; i < 10; i++ {
+		want += base + float64(i)*step
+	}
+	if math.Abs(last-want) > 1e-9 {
+		t.Fatalf("last completion %g, want %g", last, want)
+	}
+}
+
+func TestStationValidation(t *testing.T) {
+	eng := NewEngine()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("0-server station should panic")
+		}
+	}()
+	NewStation(eng, 0)
+}
+
+func TestRNGDeterminismAndStreams(t *testing.T) {
+	a, b := NewRNG(42), NewRNG(42)
+	for i := 0; i < 100; i++ {
+		if a.Float64() != b.Float64() {
+			t.Fatal("same seed diverged")
+		}
+	}
+	s1, s2 := Stream(42, 1), Stream(42, 2)
+	same := true
+	for i := 0; i < 10; i++ {
+		if s1.Float64() != s2.Float64() {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("distinct streams produced identical output")
+	}
+}
+
+func TestJitterBounded(t *testing.T) {
+	g := NewRNG(3)
+	for i := 0; i < 10000; i++ {
+		j := g.Jitter(0.02)
+		if j < 1-0.061 || j > 1+0.061 {
+			t.Fatalf("jitter %g outside ±3σ clamp", j)
+		}
+	}
+	if g.Jitter(0) != 1 || g.Jitter(-1) != 1 {
+		t.Fatal("non-positive stddev should yield exactly 1")
+	}
+}
+
+// Property: for any workload of n 1-second jobs on k servers, a station
+// finishes at ceil(n/k) seconds.
+func TestStationMakespanProperty(t *testing.T) {
+	f := func(n, k uint8) bool {
+		jobs := int(n)%64 + 1
+		servers := int(k)%8 + 1
+		eng := NewEngine()
+		st := NewStation(eng, servers)
+		for i := 0; i < jobs; i++ {
+			st.Submit(func() float64 { return 1 }, nil)
+		}
+		end := eng.Run()
+		want := math.Ceil(float64(jobs) / float64(servers))
+		return math.Abs(end-want) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,54 @@
+package sim
+
+import "math/rand"
+
+// RNG is a deterministic random stream used for execution-time jitter and
+// workload input generation. Distinct components derive independent streams
+// from a root seed so adding a consumer does not perturb the others.
+type RNG struct {
+	r *rand.Rand
+}
+
+// NewRNG returns a stream seeded with seed.
+func NewRNG(seed int64) *RNG {
+	return &RNG{r: rand.New(rand.NewSource(seed))}
+}
+
+// Stream derives an independent child stream labeled by id. The derivation
+// is a SplitMix64-style hash of (seed, id) so streams do not overlap for
+// practical run lengths.
+func Stream(seed int64, id uint64) *RNG {
+	z := uint64(seed) + 0x9e3779b97f4a7c15*(id+1)
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	z ^= z >> 31
+	return NewRNG(int64(z))
+}
+
+// Float64 returns a uniform sample in [0, 1).
+func (g *RNG) Float64() float64 { return g.r.Float64() }
+
+// Intn returns a uniform sample in [0, n).
+func (g *RNG) Intn(n int) int { return g.r.Intn(n) }
+
+// Int63 returns a non-negative pseudo-random 63-bit integer.
+func (g *RNG) Int63() int64 { return g.r.Int63() }
+
+// NormFloat64 returns a standard normal sample.
+func (g *RNG) NormFloat64() float64 { return g.r.NormFloat64() }
+
+// Jitter returns a multiplicative noise factor 1 + ε where ε is normal with
+// the given relative standard deviation, clamped to ±3σ so a single run
+// cannot produce a negative or wildly outlying duration.
+func (g *RNG) Jitter(relStdDev float64) float64 {
+	if relStdDev <= 0 {
+		return 1
+	}
+	eps := g.r.NormFloat64() * relStdDev
+	if eps > 3*relStdDev {
+		eps = 3 * relStdDev
+	} else if eps < -3*relStdDev {
+		eps = -3 * relStdDev
+	}
+	return 1 + eps
+}

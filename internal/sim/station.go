@@ -1,0 +1,72 @@
+package sim
+
+// Station is a multi-server FCFS queue living inside an Engine. Jobs submit
+// with a service-time function evaluated at dispatch (so service time can
+// depend on system state at the moment the job starts, e.g. a scheduler
+// whose placement search slows down as the datacenter fills).
+type Station struct {
+	eng     *Engine
+	servers int
+	busy    int
+	queue   []*job
+
+	// Served counts jobs whose service completed.
+	Served int
+	// BusySeconds accumulates total service time across all servers.
+	BusySeconds float64
+}
+
+type job struct {
+	service func() float64
+	done    func(start, end float64)
+}
+
+// NewStation creates a station with the given number of parallel servers.
+// servers must be ≥ 1.
+func NewStation(eng *Engine, servers int) *Station {
+	if servers < 1 {
+		panic("sim: station needs ≥1 server")
+	}
+	return &Station{eng: eng, servers: servers}
+}
+
+// Submit enqueues a job. service is evaluated when the job reaches a free
+// server; done (optional) is called at completion with the service start and
+// end times.
+func (s *Station) Submit(service func() float64, done func(start, end float64)) {
+	j := &job{service: service, done: done}
+	if s.busy < s.servers {
+		s.start(j)
+		return
+	}
+	s.queue = append(s.queue, j)
+}
+
+// QueueLen reports jobs waiting (not in service).
+func (s *Station) QueueLen() int { return len(s.queue) }
+
+// Busy reports servers currently serving.
+func (s *Station) Busy() int { return s.busy }
+
+func (s *Station) start(j *job) {
+	s.busy++
+	begin := s.eng.Now()
+	d := j.service()
+	if d < 0 {
+		panic("sim: negative service time")
+	}
+	s.eng.After(d, func() {
+		s.busy--
+		s.Served++
+		s.BusySeconds += d
+		if j.done != nil {
+			j.done(begin, s.eng.Now())
+		}
+		if len(s.queue) > 0 {
+			next := s.queue[0]
+			s.queue[0] = nil
+			s.queue = s.queue[1:]
+			s.start(next)
+		}
+	})
+}

@@ -1,0 +1,151 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+)
+
+// ChiSquareStat computes the Pearson χ² statistic
+//
+//	Σ (observedᵢ − expectedᵢ)² / expectedᵢ
+//
+// used by ProPack (Sec. 2.4) to validate its analytical models against
+// measured service times and expenses. Expected values must be positive.
+func ChiSquareStat(observed, expected []float64) (float64, error) {
+	if len(observed) != len(expected) {
+		return 0, fmt.Errorf("stats: mismatched lengths %d vs %d", len(observed), len(expected))
+	}
+	if len(observed) == 0 {
+		return 0, fmt.Errorf("stats: empty χ² input")
+	}
+	var stat float64
+	for i, e := range expected {
+		if e <= 0 {
+			return 0, fmt.Errorf("stats: non-positive expected value %g at index %d", e, i)
+		}
+		d := observed[i] - e
+		stat += d * d / e
+	}
+	return stat, nil
+}
+
+// ChiSquareCDF is the cumulative distribution function of the χ²
+// distribution with k degrees of freedom, evaluated at x. It is the
+// regularized lower incomplete gamma function P(k/2, x/2).
+func ChiSquareCDF(x float64, k int) float64 {
+	if x <= 0 || k <= 0 {
+		return 0
+	}
+	return regIncGammaLower(float64(k)/2, x/2)
+}
+
+// ChiSquareCritical returns the critical value x such that
+// ChiSquareCDF(x, k) = p, found by bisection. With the paper's setup —
+// k = 14 and a left-tail mass of 0.005 (99.5% confidence that the model and
+// observation distributions agree) — it returns ≈ 4.075.
+func ChiSquareCritical(p float64, k int) float64 {
+	if p <= 0 {
+		return 0
+	}
+	if p >= 1 {
+		return math.Inf(1)
+	}
+	lo, hi := 0.0, 1.0
+	for ChiSquareCDF(hi, k) < p {
+		hi *= 2
+		if hi > 1e9 {
+			break
+		}
+	}
+	for i := 0; i < 200; i++ {
+		mid := (lo + hi) / 2
+		if ChiSquareCDF(mid, k) < p {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return (lo + hi) / 2
+}
+
+// GoodnessOfFit bundles the outcome of a χ² test.
+type GoodnessOfFit struct {
+	Stat     float64 // Pearson χ² statistic
+	DF       int     // degrees of freedom
+	Critical float64 // critical value at the requested confidence
+	Accepted bool    // Stat ≤ Critical: models and observations agree
+}
+
+// ChiSquareTest runs the paper's goodness-of-fit procedure: compute the χ²
+// statistic for observed vs model-expected values and compare it against the
+// critical value at the given left-tail probability (the paper uses
+// p = 0.005, i.e. 99.5% confidence) with df degrees of freedom.
+func ChiSquareTest(observed, expected []float64, df int, leftTail float64) (GoodnessOfFit, error) {
+	stat, err := ChiSquareStat(observed, expected)
+	if err != nil {
+		return GoodnessOfFit{}, err
+	}
+	crit := ChiSquareCritical(leftTail, df)
+	return GoodnessOfFit{Stat: stat, DF: df, Critical: crit, Accepted: stat <= crit}, nil
+}
+
+// regIncGammaLower computes the regularized lower incomplete gamma function
+// P(a, x) = γ(a, x)/Γ(a) using the series expansion for x < a+1 and the
+// continued fraction for the upper function otherwise (Numerical Recipes
+// style, with Lentz's algorithm).
+func regIncGammaLower(a, x float64) float64 {
+	switch {
+	case x < 0 || a <= 0:
+		return math.NaN()
+	case x == 0:
+		return 0
+	case x < a+1:
+		return gammaSeries(a, x)
+	default:
+		return 1 - gammaContinuedFraction(a, x)
+	}
+}
+
+func gammaSeries(a, x float64) float64 {
+	lg, _ := math.Lgamma(a)
+	ap := a
+	sum := 1 / a
+	del := sum
+	for i := 0; i < 500; i++ {
+		ap++
+		del *= x / ap
+		sum += del
+		if math.Abs(del) < math.Abs(sum)*1e-15 {
+			break
+		}
+	}
+	return sum * math.Exp(-x+a*math.Log(x)-lg)
+}
+
+func gammaContinuedFraction(a, x float64) float64 {
+	const tiny = 1e-300
+	lg, _ := math.Lgamma(a)
+	b := x + 1 - a
+	c := 1 / tiny
+	d := 1 / b
+	h := d
+	for i := 1; i < 500; i++ {
+		an := -float64(i) * (float64(i) - a)
+		b += 2
+		d = an*d + b
+		if math.Abs(d) < tiny {
+			d = tiny
+		}
+		c = b + an/c
+		if math.Abs(c) < tiny {
+			c = tiny
+		}
+		d = 1 / d
+		del := d * c
+		h *= del
+		if math.Abs(del-1) < 1e-15 {
+			break
+		}
+	}
+	return math.Exp(-x+a*math.Log(x)-lg) * h
+}

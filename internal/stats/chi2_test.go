@@ -1,0 +1,109 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestChiSquareStat(t *testing.T) {
+	obs := []float64{10, 20, 30}
+	exp := []float64{10, 20, 30}
+	s, err := ChiSquareStat(obs, exp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx(t, s, 0, 1e-12, "identical distributions")
+
+	obs2 := []float64{12, 18, 30}
+	s2, err := ChiSquareStat(obs2, exp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// (2²/10) + (2²/20) + 0 = 0.4 + 0.2 = 0.6
+	approx(t, s2, 0.6, 1e-12, "hand-computed statistic")
+}
+
+func TestChiSquareStatErrors(t *testing.T) {
+	if _, err := ChiSquareStat([]float64{1}, []float64{1, 2}); err == nil {
+		t.Fatal("mismatched lengths accepted")
+	}
+	if _, err := ChiSquareStat(nil, nil); err == nil {
+		t.Fatal("empty input accepted")
+	}
+	if _, err := ChiSquareStat([]float64{1}, []float64{0}); err == nil {
+		t.Fatal("zero expected value accepted")
+	}
+}
+
+func TestChiSquareCDFKnownValues(t *testing.T) {
+	// Reference values from standard χ² tables.
+	approx(t, ChiSquareCDF(3.841, 1), 0.95, 2e-4, "χ²(1) 95th")
+	approx(t, ChiSquareCDF(5.991, 2), 0.95, 2e-4, "χ²(2) 95th")
+	approx(t, ChiSquareCDF(23.685, 14), 0.95, 2e-4, "χ²(14) 95th")
+	// k=2 has closed form CDF 1−exp(−x/2).
+	for _, x := range []float64{0.5, 1, 2, 5, 10} {
+		approx(t, ChiSquareCDF(x, 2), 1-math.Exp(-x/2), 1e-10, "closed form k=2")
+	}
+	if ChiSquareCDF(-1, 3) != 0 || ChiSquareCDF(0, 3) != 0 {
+		t.Fatal("CDF should be 0 for x ≤ 0")
+	}
+}
+
+// TestChiSquarePaperCriticalValue checks the exact constant the paper uses:
+// with 14 degrees of freedom and 99.5% confidence, the critical value is
+// 4.075 (Sec. 2.4).
+func TestChiSquarePaperCriticalValue(t *testing.T) {
+	crit := ChiSquareCritical(0.005, 14)
+	approx(t, crit, 4.075, 5e-3, "paper's 14-dof critical value")
+}
+
+func TestChiSquareCriticalInverseOfCDF(t *testing.T) {
+	for _, k := range []int{1, 5, 14, 30} {
+		for _, p := range []float64{0.005, 0.05, 0.5, 0.95} {
+			x := ChiSquareCritical(p, k)
+			approx(t, ChiSquareCDF(x, k), p, 1e-9, "CDF(critical(p)) == p")
+		}
+	}
+	if ChiSquareCritical(0, 5) != 0 {
+		t.Fatal("p=0 critical should be 0")
+	}
+	if !math.IsInf(ChiSquareCritical(1, 5), 1) {
+		t.Fatal("p=1 critical should be +Inf")
+	}
+}
+
+func TestChiSquareTestVerdicts(t *testing.T) {
+	exp := make([]float64, 15)
+	obsGood := make([]float64, 15)
+	obsBad := make([]float64, 15)
+	for i := range exp {
+		exp[i] = 100 + float64(i)
+		obsGood[i] = exp[i] * 1.01 // 1% off: tiny χ²
+		obsBad[i] = exp[i] * 2     // 100% off: huge χ²
+	}
+	good, err := ChiSquareTest(obsGood, exp, 14, 0.005)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !good.Accepted {
+		t.Fatalf("close observations rejected: stat=%g crit=%g", good.Stat, good.Critical)
+	}
+	bad, err := ChiSquareTest(obsBad, exp, 14, 0.005)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bad.Accepted {
+		t.Fatalf("wildly off observations accepted: stat=%g crit=%g", bad.Stat, bad.Critical)
+	}
+}
+
+func TestRegIncGammaEdges(t *testing.T) {
+	if !math.IsNaN(regIncGammaLower(-1, 2)) {
+		t.Fatal("negative shape should be NaN")
+	}
+	if regIncGammaLower(2, 0) != 0 {
+		t.Fatal("x=0 should be 0")
+	}
+	// P(a, x) → 1 as x → ∞.
+	approx(t, regIncGammaLower(3, 1e3), 1, 1e-9, "upper limit")
+}

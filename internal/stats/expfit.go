@@ -1,0 +1,79 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+)
+
+// ExpModel is the exponential execution-time model of ProPack's Eq. 1:
+//
+//	y(x) = exp(Slope·x + Intercept)
+//
+// For the paper-exact form, x is Mfunc·P and Intercept is zero; the
+// intercept variant generalizes the model so ET(1) is not pinned to
+// exp(Slope·Mfunc).
+type ExpModel struct {
+	Slope     float64
+	Intercept float64
+}
+
+// At evaluates the model at x.
+func (m ExpModel) At(x float64) float64 {
+	return math.Exp(m.Slope*x + m.Intercept)
+}
+
+func (m ExpModel) String() string {
+	return fmt.Sprintf("exp(%.6g·x %+.6g)", m.Slope, m.Intercept)
+}
+
+// ExpFit fits y = exp(a·x + b) by linear least squares on (x, ln y).
+// All ys must be strictly positive.
+func ExpFit(xs, ys []float64) (ExpModel, error) {
+	if len(xs) != len(ys) {
+		return ExpModel{}, fmt.Errorf("stats: mismatched sample lengths %d vs %d", len(xs), len(ys))
+	}
+	if len(xs) < 2 {
+		return ExpModel{}, fmt.Errorf("%w: exponential fit needs ≥2 samples, have %d", ErrUnderdetermined, len(xs))
+	}
+	logs := make([]float64, len(ys))
+	for i, y := range ys {
+		if y <= 0 {
+			return ExpModel{}, fmt.Errorf("stats: exponential fit requires positive observations, got %g at index %d", y, i)
+		}
+		logs[i] = math.Log(y)
+	}
+	line, err := PolyFit(xs, logs, 1)
+	if err != nil {
+		return ExpModel{}, err
+	}
+	return ExpModel{Slope: line[1], Intercept: line[0]}, nil
+}
+
+// ExpFitThroughOrigin fits the paper-exact one-parameter model
+// y = exp(a·x), i.e. ln y = a·x with no intercept:
+//
+//	a = Σ xᵢ·ln yᵢ / Σ xᵢ²
+//
+// This is the literal form of Eq. 1; callers that need ET(1) to match the
+// measured baseline should prefer ExpFit.
+func ExpFitThroughOrigin(xs, ys []float64) (ExpModel, error) {
+	if len(xs) != len(ys) {
+		return ExpModel{}, fmt.Errorf("stats: mismatched sample lengths %d vs %d", len(xs), len(ys))
+	}
+	if len(xs) < 1 {
+		return ExpModel{}, fmt.Errorf("%w: need ≥1 sample", ErrUnderdetermined)
+	}
+	var num, den float64
+	for i, x := range xs {
+		y := ys[i]
+		if y <= 0 {
+			return ExpModel{}, fmt.Errorf("stats: exponential fit requires positive observations, got %g at index %d", y, i)
+		}
+		num += x * math.Log(y)
+		den += x * x
+	}
+	if den == 0 {
+		return ExpModel{}, ErrSingular
+	}
+	return ExpModel{Slope: num / den}, nil
+}

@@ -1,0 +1,94 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestExpFitExact(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5, 8, 13}
+	ys := make([]float64, len(xs))
+	for i, x := range xs {
+		ys[i] = math.Exp(0.3*x + 1.2)
+	}
+	m, err := ExpFit(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx(t, m.Slope, 0.3, 1e-9, "slope")
+	approx(t, m.Intercept, 1.2, 1e-9, "intercept")
+	approx(t, m.At(10), math.Exp(4.2), 1e-6, "prediction")
+}
+
+func TestExpFitThroughOriginExact(t *testing.T) {
+	xs := []float64{1, 2, 3, 5, 9}
+	ys := make([]float64, len(xs))
+	for i, x := range xs {
+		ys[i] = math.Exp(0.42 * x)
+	}
+	m, err := ExpFitThroughOrigin(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx(t, m.Slope, 0.42, 1e-9, "slope")
+	approx(t, m.Intercept, 0, 0, "intercept pinned at 0")
+}
+
+func TestExpFitRejectsNonPositive(t *testing.T) {
+	if _, err := ExpFit([]float64{1, 2}, []float64{1, 0}); err == nil {
+		t.Fatal("zero observation accepted")
+	}
+	if _, err := ExpFit([]float64{1, 2}, []float64{1, -2}); err == nil {
+		t.Fatal("negative observation accepted")
+	}
+	if _, err := ExpFitThroughOrigin([]float64{1}, []float64{-1}); err == nil {
+		t.Fatal("negative observation accepted (origin fit)")
+	}
+}
+
+func TestExpFitErrors(t *testing.T) {
+	if _, err := ExpFit([]float64{1}, []float64{1}); err == nil {
+		t.Fatal("single sample accepted for 2-parameter fit")
+	}
+	if _, err := ExpFit([]float64{1, 2, 3}, []float64{1, 2}); err == nil {
+		t.Fatal("mismatched lengths accepted")
+	}
+	if _, err := ExpFitThroughOrigin([]float64{0, 0}, []float64{1, 1}); err == nil {
+		t.Fatal("degenerate abscissae accepted")
+	}
+}
+
+func TestExpFitNoisyRecovery(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	xs, ys := make([]float64, 500), make([]float64, 500)
+	for i := range xs {
+		xs[i] = float64(i) / 25
+		ys[i] = math.Exp(0.15*xs[i]+0.5) * (1 + rng.NormFloat64()*0.005)
+	}
+	m, err := ExpFit(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx(t, m.Slope, 0.15, 0.01, "slope under noise")
+	approx(t, m.Intercept, 0.5, 0.02, "intercept under noise")
+}
+
+// Property: the through-origin fit recovers a positive slope from monotone
+// exponential data for any slope in a sensible range.
+func TestExpFitThroughOriginProperty(t *testing.T) {
+	f := func(s uint8) bool {
+		slope := 0.01 + float64(s)/512 // (0.01, ~0.51)
+		xs := []float64{1, 3, 5, 7, 11}
+		ys := make([]float64, len(xs))
+		for i, x := range xs {
+			ys[i] = math.Exp(slope * x)
+		}
+		m, err := ExpFitThroughOrigin(xs, ys)
+		return err == nil && math.Abs(m.Slope-slope) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

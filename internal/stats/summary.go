@@ -1,0 +1,114 @@
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// Mean returns the arithmetic mean of xs, or NaN for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// StdDev returns the sample standard deviation (n−1 denominator) of xs.
+// It returns 0 for fewer than two samples.
+func StdDev(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	var ss float64
+	for _, x := range xs {
+		d := x - m
+		ss += d * d
+	}
+	return math.Sqrt(ss / float64(len(xs)-1))
+}
+
+// Percentile returns the q-th percentile (q in [0,100]) of xs using linear
+// interpolation between closest ranks. It returns NaN for an empty slice.
+// The input is not modified.
+func Percentile(xs []float64, q float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	sorted := make([]float64, len(xs))
+	copy(sorted, xs)
+	sort.Float64s(sorted)
+	return percentileSorted(sorted, q)
+}
+
+func percentileSorted(sorted []float64, q float64) float64 {
+	if q <= 0 {
+		return sorted[0]
+	}
+	if q >= 100 {
+		return sorted[len(sorted)-1]
+	}
+	rank := q / 100 * float64(len(sorted)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := rank - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// Median returns the 50th percentile of xs.
+func Median(xs []float64) float64 { return Percentile(xs, 50) }
+
+// Summary holds the order statistics ProPack reports for a set of
+// per-instance measurements.
+type Summary struct {
+	N      int
+	Min    float64
+	Max    float64
+	Mean   float64
+	Median float64
+	P95    float64
+	StdDev float64
+}
+
+// Summarize computes a Summary over xs. It returns the zero Summary for an
+// empty input.
+func Summarize(xs []float64) Summary {
+	if len(xs) == 0 {
+		return Summary{}
+	}
+	sorted := make([]float64, len(xs))
+	copy(sorted, xs)
+	sort.Float64s(sorted)
+	return Summary{
+		N:      len(xs),
+		Min:    sorted[0],
+		Max:    sorted[len(sorted)-1],
+		Mean:   Mean(xs),
+		Median: percentileSorted(sorted, 50),
+		P95:    percentileSorted(sorted, 95),
+		StdDev: StdDev(xs),
+	}
+}
+
+// ArgminInt returns the integer x in [lo, hi] minimizing f, scanning
+// exhaustively (the packing-degree search space is tiny). Ties resolve to
+// the smallest x. It panics if lo > hi.
+func ArgminInt(lo, hi int, f func(int) float64) int {
+	if lo > hi {
+		panic("stats: ArgminInt with empty range")
+	}
+	best, bestVal := lo, f(lo)
+	for x := lo + 1; x <= hi; x++ {
+		if v := f(x); v < bestVal {
+			best, bestVal = x, v
+		}
+	}
+	return best
+}

@@ -1,0 +1,101 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestMeanStdDev(t *testing.T) {
+	approx(t, Mean([]float64{1, 2, 3, 4}), 2.5, 1e-12, "mean")
+	if !math.IsNaN(Mean(nil)) {
+		t.Fatal("mean of empty should be NaN")
+	}
+	approx(t, StdDev([]float64{2, 4, 4, 4, 5, 5, 7, 9}), 2.138089935, 1e-6, "sample stddev")
+	if StdDev([]float64{42}) != 0 {
+		t.Fatal("single-sample stddev should be 0")
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{15, 20, 35, 40, 50}
+	approx(t, Percentile(xs, 0), 15, 1e-12, "p0")
+	approx(t, Percentile(xs, 100), 50, 1e-12, "p100")
+	approx(t, Percentile(xs, 50), 35, 1e-12, "median odd")
+	approx(t, Percentile(xs, 25), 20, 1e-12, "p25 exact rank")
+	// Interpolated: rank = 0.4*4 = 1.6 → 20 + 0.6*(35-20) = 29.
+	approx(t, Percentile(xs, 40), 29, 1e-12, "p40 interpolated")
+	if !math.IsNaN(Percentile(nil, 50)) {
+		t.Fatal("percentile of empty should be NaN")
+	}
+	// Input must not be mutated.
+	unsorted := []float64{3, 1, 2}
+	Percentile(unsorted, 50)
+	if unsorted[0] != 3 || unsorted[1] != 1 || unsorted[2] != 2 {
+		t.Fatal("Percentile mutated its input")
+	}
+	approx(t, Median([]float64{1, 2, 3, 4}), 2.5, 1e-12, "median even")
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{5, 1, 3, 2, 4})
+	if s.N != 5 || s.Min != 1 || s.Max != 5 {
+		t.Fatalf("bad extrema: %+v", s)
+	}
+	approx(t, s.Mean, 3, 1e-12, "mean")
+	approx(t, s.Median, 3, 1e-12, "median")
+	empty := Summarize(nil)
+	if empty.N != 0 || empty.Max != 0 {
+		t.Fatal("empty summary should be zero value")
+	}
+}
+
+// Property: percentiles are monotone in q and bounded by min/max.
+func TestPercentileMonotoneProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	f := func(n uint8) bool {
+		size := int(n)%50 + 1
+		xs := make([]float64, size)
+		for i := range xs {
+			xs[i] = rng.NormFloat64() * 100
+		}
+		sorted := make([]float64, size)
+		copy(sorted, xs)
+		sort.Float64s(sorted)
+		prev := math.Inf(-1)
+		for q := 0.0; q <= 100; q += 7 {
+			p := Percentile(xs, q)
+			if p < prev-1e-9 || p < sorted[0]-1e-9 || p > sorted[size-1]+1e-9 {
+				return false
+			}
+			prev = p
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestArgminInt(t *testing.T) {
+	got := ArgminInt(1, 40, func(x int) float64 {
+		d := float64(x) - 17.2
+		return d * d
+	})
+	if got != 17 {
+		t.Fatalf("argmin = %d, want 17", got)
+	}
+	// Ties resolve to the smallest index.
+	got = ArgminInt(1, 10, func(x int) float64 { return 1 })
+	if got != 1 {
+		t.Fatalf("tie should resolve low, got %d", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("empty range should panic")
+		}
+	}()
+	ArgminInt(5, 4, func(int) float64 { return 0 })
+}

@@ -1,0 +1,111 @@
+package storage
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"testing"
+)
+
+func TestMeterAccounting(t *testing.T) {
+	p := Pricing{PutRequestUSD: 5e-6, GetRequestUSD: 4e-7, EgressPerGBUSD: 0.12}
+	m, err := NewMeter(p, 0.1) // 0.1 GB/s
+	if err != nil {
+		t.Fatal(err)
+	}
+	tPut := m.RecordPut(100) // 100 MB at 0.1 GB/s = 1 s
+	tGet := m.RecordGet(500) // 5 s
+	if math.Abs(tPut-1) > 1e-9 || math.Abs(tGet-5) > 1e-9 {
+		t.Fatalf("transfer times %g, %g", tPut, tGet)
+	}
+	puts, gets := m.Ops()
+	if puts != 1 || gets != 1 {
+		t.Fatalf("ops %d/%d", puts, gets)
+	}
+	if math.Abs(m.EgressGB()-0.5) > 1e-9 {
+		t.Fatalf("egress %g GB", m.EgressGB())
+	}
+	want := 5e-6 + 4e-7 + 0.5*0.12
+	if math.Abs(m.CostUSD()-want) > 1e-12 {
+		t.Fatalf("cost %g, want %g", m.CostUSD(), want)
+	}
+}
+
+func TestMeterValidation(t *testing.T) {
+	if _, err := NewMeter(Pricing{}, 0); err == nil {
+		t.Fatal("zero bandwidth accepted")
+	}
+	m, _ := NewMeter(Pricing{}, 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative size should panic")
+		}
+	}()
+	m.RecordGet(-1)
+}
+
+func TestMeterZeroValueFree(t *testing.T) {
+	var m Meter
+	m.RecordPut(10)
+	m.RecordGet(10)
+	if m.CostUSD() != 0 {
+		t.Fatal("zero-value meter should be free")
+	}
+}
+
+func TestStoreRoundTrip(t *testing.T) {
+	s := NewStore()
+	s.Put("a", []byte{1, 2, 3})
+	got, err := s.Get("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 || got[0] != 1 {
+		t.Fatalf("got %v", got)
+	}
+	// Mutating the returned slice must not affect the store.
+	got[0] = 99
+	again, _ := s.Get("a")
+	if again[0] != 1 {
+		t.Fatal("store aliases returned data")
+	}
+	// Mutating the input slice after Put must not either.
+	in := []byte{7}
+	s.Put("b", in)
+	in[0] = 8
+	b, _ := s.Get("b")
+	if b[0] != 7 {
+		t.Fatal("store aliases input data")
+	}
+	if _, err := s.Get("missing"); err == nil {
+		t.Fatal("missing key found")
+	}
+	if s.List() != 2 {
+		t.Fatalf("list %d, want 2", s.List())
+	}
+	s.Delete("a")
+	if s.List() != 1 {
+		t.Fatal("delete did not remove")
+	}
+	s.Delete("never-existed") // must not panic
+}
+
+func TestStoreConcurrent(t *testing.T) {
+	s := NewStore()
+	var wg sync.WaitGroup
+	for i := 0; i < 32; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			key := fmt.Sprintf("k%d", i%8)
+			s.Put(key, []byte{byte(i)})
+			if _, err := s.Get(key); err != nil {
+				t.Error(err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	if s.List() != 8 {
+		t.Fatalf("list %d, want 8", s.List())
+	}
+}

@@ -1,0 +1,32 @@
+package trace
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/platform"
+)
+
+// WriteTimelinesCSV dumps a burst's per-instance timelines as CSV — the raw
+// material for Gantt-style plots of the scaling behaviour (one row per
+// instance: control-plane milestones, start, end, degree, retries).
+func WriteTimelinesCSV(w io.Writer, res *platform.Result) error {
+	if res == nil {
+		return fmt.Errorf("trace: nil result")
+	}
+	if _, err := fmt.Fprintln(w, "index,degree,warm,retries,sched_done,build_done,ship_done,start,end"); err != nil {
+		return err
+	}
+	for _, tl := range res.Timelines {
+		warm := 0
+		if tl.Warm {
+			warm = 1
+		}
+		if _, err := fmt.Fprintf(w, "%d,%d,%d,%d,%.6f,%.6f,%.6f,%.6f,%.6f\n",
+			tl.Index, tl.Degree, warm, tl.Retries,
+			tl.SchedDone, tl.BuildDone, tl.ShipDone, tl.Start, tl.End); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,157 @@
+// Package trace converts raw burst results into the paper's figures of
+// merit and formats experiment output as aligned tables and CSV.
+package trace
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/platform"
+)
+
+// Metrics are the quantities the paper reports per run (Sec. 3): scaling
+// time; total, tail (95th percentile), and median service times; expense;
+// and function-hours of consumed compute.
+type Metrics struct {
+	Platform      string
+	Degree        int
+	Instances     int
+	ScalingTime   float64 // seconds
+	TotalService  float64 // seconds
+	TailService   float64 // seconds, first 95% of instances done
+	MedianService float64 // seconds, first 50% of instances done
+	ExpenseUSD    float64
+	FunctionHours float64
+	MeanExecSec   float64
+}
+
+// FromResult extracts Metrics from a simulated burst.
+func FromResult(r *platform.Result) Metrics {
+	return Metrics{
+		Platform:      r.Config.Name,
+		Degree:        r.Burst.Degree, // 0 for heterogeneous (mixed) bursts
+		Instances:     r.Instances(),
+		ScalingTime:   r.ScalingTime(),
+		TotalService:  r.TotalServiceTime(),
+		TailService:   r.ServiceTimeAtQuantile(95),
+		MedianService: r.ServiceTimeAtQuantile(50),
+		ExpenseUSD:    r.ExpenseUSD(),
+		FunctionHours: r.FunctionSeconds() / 3600,
+		MeanExecSec:   r.MeanExecSeconds(),
+	}
+}
+
+// Improvement returns the percentage improvement of got over base for a
+// lower-is-better metric: 100·(1 − got/base). Negative means regression.
+func Improvement(base, got float64) float64 {
+	if base == 0 {
+		return 0
+	}
+	return 100 * (1 - got/base)
+}
+
+// Table is a rectangular experiment result ready to print: one row per
+// configuration, one column per reported quantity.
+type Table struct {
+	Title  string
+	Header []string
+	Rows   [][]string
+}
+
+// AddRow appends a row of formatted cells. The row must match the header
+// width; mismatches panic because they are driver bugs.
+func (t *Table) AddRow(cells ...string) {
+	if len(cells) != len(t.Header) {
+		panic(fmt.Sprintf("trace: row has %d cells, header has %d", len(cells), len(t.Header)))
+	}
+	t.Rows = append(t.Rows, cells)
+}
+
+// AddRowf appends a row from values formatted by the given verbs. Values
+// and verbs must align with the header.
+func (t *Table) AddRowf(format string, args ...interface{}) {
+	parts := strings.Split(fmt.Sprintf(format, args...), "\t")
+	t.AddRow(parts...)
+}
+
+// Fprint writes the table with aligned columns.
+func (t *Table) Fprint(w io.Writer) error {
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len([]rune(h))
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if n := len([]rune(c)); n > widths[i] {
+				widths[i] = n
+			}
+		}
+	}
+	if t.Title != "" {
+		if _, err := fmt.Fprintf(w, "# %s\n", t.Title); err != nil {
+			return err
+		}
+	}
+	writeRow := func(cells []string) error {
+		var b strings.Builder
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(c)
+			for p := len([]rune(c)); p < widths[i]; p++ {
+				b.WriteByte(' ')
+			}
+		}
+		_, err := fmt.Fprintln(w, strings.TrimRight(b.String(), " "))
+		return err
+	}
+	if err := writeRow(t.Header); err != nil {
+		return err
+	}
+	var rule []string
+	for _, width := range widths {
+		rule = append(rule, strings.Repeat("-", width))
+	}
+	if err := writeRow(rule); err != nil {
+		return err
+	}
+	for _, row := range t.Rows {
+		if err := writeRow(row); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// FprintCSV writes the table as CSV (RFC-4180-style quoting for cells
+// containing commas or quotes).
+func (t *Table) FprintCSV(w io.Writer) error {
+	writeRow := func(cells []string) error {
+		var b strings.Builder
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			if strings.ContainsAny(c, ",\"\n") {
+				b.WriteByte('"')
+				b.WriteString(strings.ReplaceAll(c, `"`, `""`))
+				b.WriteByte('"')
+			} else {
+				b.WriteString(c)
+			}
+		}
+		_, err := fmt.Fprintln(w, b.String())
+		return err
+	}
+	if err := writeRow(t.Header); err != nil {
+		return err
+	}
+	for _, row := range t.Rows {
+		if err := writeRow(row); err != nil {
+			return err
+		}
+	}
+	return nil
+}

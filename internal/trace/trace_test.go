@@ -1,0 +1,111 @@
+package trace
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/platform"
+	"repro/internal/workload"
+)
+
+func TestFromResult(t *testing.T) {
+	res, err := platform.Run(platform.AWSLambda(),
+		platform.Burst{Demand: workload.Video{}.Demand(), Functions: 100, Degree: 4, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := FromResult(res)
+	if m.Platform != "AWS Lambda" || m.Degree != 4 || m.Instances != 25 {
+		t.Fatalf("identity fields wrong: %+v", m)
+	}
+	if !(m.MedianService <= m.TailService && m.TailService <= m.TotalService) {
+		t.Fatalf("service quantiles unordered: %+v", m)
+	}
+	if m.ExpenseUSD <= 0 || m.FunctionHours <= 0 || m.ScalingTime <= 0 {
+		t.Fatalf("non-positive metrics: %+v", m)
+	}
+	if math.Abs(m.FunctionHours*3600-m.MeanExecSec*float64(m.Instances)) > 1e-6*m.FunctionHours*3600 {
+		t.Fatal("function-hours inconsistent with mean exec")
+	}
+}
+
+func TestImprovement(t *testing.T) {
+	if got := Improvement(100, 15); math.Abs(got-85) > 1e-12 {
+		t.Fatalf("Improvement(100,15) = %g", got)
+	}
+	if got := Improvement(100, 120); math.Abs(got+20) > 1e-12 {
+		t.Fatalf("regression should be negative: %g", got)
+	}
+	if Improvement(0, 5) != 0 {
+		t.Fatal("zero base should yield 0")
+	}
+}
+
+func TestTablePrint(t *testing.T) {
+	tb := Table{Title: "demo", Header: []string{"app", "value"}}
+	tb.AddRow("Video", "85.0")
+	tb.AddRowf("%s\t%.1f", "Sort", 52.25)
+	var b strings.Builder
+	if err := tb.Fprint(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"# demo", "app", "Video  85.0", "Sort   52.2"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 5 { // title, header, rule, 2 rows
+		t.Fatalf("expected 5 lines, got %d:\n%s", len(lines), out)
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	tb := Table{Header: []string{"a", "b"}}
+	tb.AddRow(`with,comma`, `with"quote`)
+	var b strings.Builder
+	if err := tb.FprintCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := "a,b\n\"with,comma\",\"with\"\"quote\"\n"
+	if b.String() != want {
+		t.Fatalf("CSV got %q want %q", b.String(), want)
+	}
+}
+
+func TestTableRowWidthMismatchPanics(t *testing.T) {
+	tb := Table{Header: []string{"a", "b"}}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("mismatched row accepted")
+		}
+	}()
+	tb.AddRow("only-one")
+}
+
+func TestWriteTimelinesCSV(t *testing.T) {
+	res, err := platform.Run(platform.AWSLambda(),
+		platform.Burst{Demand: workload.Video{}.Demand(), Functions: 6, Degree: 2, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	if err := WriteTimelinesCSV(&b, res); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(b.String()), "\n")
+	if len(lines) != 4 { // header + 3 instances
+		t.Fatalf("got %d lines, want 4:\n%s", len(lines), b.String())
+	}
+	if !strings.HasPrefix(lines[0], "index,degree,warm") {
+		t.Fatalf("bad header %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[1], "0,2,0,0,") {
+		t.Fatalf("bad first row %q", lines[1])
+	}
+	if err := WriteTimelinesCSV(&b, nil); err == nil {
+		t.Fatal("nil result accepted")
+	}
+}

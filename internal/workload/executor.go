@@ -1,0 +1,54 @@
+package workload
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// PackedResult is the outcome of executing a packed instance locally.
+type PackedResult struct {
+	// Wall is the wall-clock duration of the whole instance (all packed
+	// functions), i.e. the quantity ProPack's Eq. 1 models.
+	Wall time.Duration
+	// Checksums holds each packed function's result in submission order.
+	Checksums []uint64
+}
+
+// RunPacked executes `degree` tasks of the workload concurrently, at most
+// `cores` at a time — the local analogue of packing functions as threads
+// inside one multi-core function instance. It is what the examples and the
+// live profiler use to measure real interference on the host machine.
+//
+// Each task gets a distinct deterministic seed derived from baseSeed.
+func RunPacked(w Workload, degree, cores int, baseSeed int64) (PackedResult, error) {
+	if degree < 1 {
+		return PackedResult{}, fmt.Errorf("workload: non-positive packing degree %d", degree)
+	}
+	if cores < 1 {
+		return PackedResult{}, fmt.Errorf("workload: non-positive core count %d", cores)
+	}
+	checksums := make([]uint64, degree)
+	errs := make([]error, degree)
+	sem := make(chan struct{}, cores)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for i := 0; i < degree; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			task := w.NewTask(baseSeed + int64(i))
+			checksums[i], errs[i] = task.Run()
+		}(i)
+	}
+	wg.Wait()
+	wall := time.Since(start)
+	for i, err := range errs {
+		if err != nil {
+			return PackedResult{}, fmt.Errorf("workload: packed function %d failed: %w", i, err)
+		}
+	}
+	return PackedResult{Wall: wall, Checksums: checksums}, nil
+}

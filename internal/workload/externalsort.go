@@ -1,0 +1,132 @@
+package workload
+
+import (
+	"container/heap"
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/storage"
+)
+
+// External sort: the Hadoop-realistic path of the Sort benchmark. When a
+// reducer's partition exceeds its memory budget, it sorts bounded runs,
+// spills them to the object store, and k-way merges the runs back with a
+// min-heap — exactly the terasort reducer dataflow.
+
+const extRecordSize = 12 // 8-byte key + 4-byte payload
+
+func encodeRecords(rs []record) []byte {
+	out := make([]byte, len(rs)*extRecordSize)
+	for i, r := range rs {
+		binary.BigEndian.PutUint64(out[i*extRecordSize:], r.key)
+		binary.BigEndian.PutUint32(out[i*extRecordSize+8:], r.payload)
+	}
+	return out
+}
+
+func decodeRecords(data []byte) ([]record, error) {
+	if len(data)%extRecordSize != 0 {
+		return nil, fmt.Errorf("workload: run data length %d not a record multiple", len(data))
+	}
+	rs := make([]record, len(data)/extRecordSize)
+	for i := range rs {
+		rs[i] = record{
+			key:     binary.BigEndian.Uint64(data[i*extRecordSize:]),
+			payload: binary.BigEndian.Uint32(data[i*extRecordSize+8:]),
+		}
+	}
+	return rs, nil
+}
+
+// ExternalSort sorts rs with at most runSize records in memory at a time:
+// sorted runs spill to the store under prefix, then merge back in one
+// k-way pass. The input slice is not modified; the sorted result is
+// returned. The spilled run objects are deleted on success.
+func ExternalSort(store *storage.Store, prefix string, rs []record, runSize int) ([]record, error) {
+	if store == nil {
+		return nil, fmt.Errorf("workload: nil store")
+	}
+	if runSize < 1 {
+		return nil, fmt.Errorf("workload: run size %d < 1", runSize)
+	}
+	// Phase 1: spill sorted runs.
+	var runKeys []string
+	for lo := 0; lo < len(rs); lo += runSize {
+		hi := lo + runSize
+		if hi > len(rs) {
+			hi = len(rs)
+		}
+		run := make([]record, hi-lo)
+		copy(run, rs[lo:hi])
+		mergeSortRecords(run)
+		key := fmt.Sprintf("%s/run-%06d", prefix, len(runKeys))
+		store.Put(key, encodeRecords(run))
+		runKeys = append(runKeys, key)
+	}
+	if len(runKeys) == 0 {
+		return []record{}, nil
+	}
+	// Phase 2: k-way merge with a min-heap of run cursors.
+	runs := make([][]record, len(runKeys))
+	for i, key := range runKeys {
+		data, err := store.Get(key)
+		if err != nil {
+			return nil, err
+		}
+		decoded, err := decodeRecords(data)
+		if err != nil {
+			return nil, err
+		}
+		runs[i] = decoded
+	}
+	h := make(runHeap, 0, len(runs))
+	for i, run := range runs {
+		if len(run) > 0 {
+			h = append(h, runCursor{run: i, rec: run[0], next: 1})
+		}
+	}
+	heap.Init(&h)
+	out := make([]record, 0, len(rs))
+	for h.Len() > 0 {
+		cur := h[0]
+		out = append(out, cur.rec)
+		if cur.next < len(runs[cur.run]) {
+			h[0] = runCursor{run: cur.run, rec: runs[cur.run][cur.next], next: cur.next + 1}
+			heap.Fix(&h, 0)
+		} else {
+			heap.Pop(&h)
+		}
+	}
+	for _, key := range runKeys {
+		store.Delete(key)
+	}
+	return out, nil
+}
+
+// runCursor is one run's read position inside the merge heap.
+type runCursor struct {
+	run  int
+	rec  record
+	next int
+}
+
+// runHeap orders cursors by current key; ties break on run index so the
+// merge is stable across runs in spill order.
+type runHeap []runCursor
+
+func (h runHeap) Len() int { return len(h) }
+func (h runHeap) Less(i, j int) bool {
+	if h[i].rec.key != h[j].rec.key {
+		return h[i].rec.key < h[j].rec.key
+	}
+	return h[i].run < h[j].run
+}
+func (h runHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *runHeap) Push(x interface{}) { *h = append(*h, x.(runCursor)) }
+func (h *runHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	v := old[n-1]
+	*h = old[:n-1]
+	return v
+}

@@ -1,0 +1,170 @@
+package workload
+
+import (
+	"testing"
+)
+
+// --- Motion estimation ---
+
+func TestEstimateMotionRecoversShift(t *testing.T) {
+	task := &videoTask{seed: 21, frames: 1}
+	prev := make([]float64, videoFrameW*videoFrameH)
+	task.synthesizeFrame(prev, 0)
+	for _, shift := range [][2]int{{2, 1}, {-3, 2}, {0, 0}, {4, -4}} {
+		cur := shiftFrame(prev, shift[0], shift[1])
+		field, err := EstimateMotion(prev, cur, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Interior blocks (away from the clamped borders) must recover the
+		// exact shift with zero residual.
+		matched := 0
+		for by := 1; by < field.BlocksY-1; by++ {
+			for bx := 1; bx < field.BlocksX-1; bx++ {
+				v := field.At(bx, by)
+				if v.DX == -shift[0] && v.DY == -shift[1] && v.SAD == 0 {
+					matched++
+				}
+			}
+		}
+		interior := (field.BlocksX - 2) * (field.BlocksY - 2)
+		if matched < interior*9/10 {
+			t.Fatalf("shift %v: only %d/%d interior blocks recovered the motion",
+				shift, matched, interior)
+		}
+	}
+}
+
+func TestEstimateMotionIdentityIsZero(t *testing.T) {
+	task := &videoTask{seed: 22, frames: 1}
+	frame := make([]float64, videoFrameW*videoFrameH)
+	task.synthesizeFrame(frame, 0)
+	field, err := EstimateMotion(frame, frame, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Identical frames: some candidate must reach SAD 0 for every block,
+	// so the residual energy is exactly zero.
+	if field.TotalSAD() != 0 {
+		t.Fatalf("identity motion should have zero residual, got %g", field.TotalSAD())
+	}
+	if len(field.Vectors) != (videoFrameW/8)*(videoFrameH/8) {
+		t.Fatalf("field size %d", len(field.Vectors))
+	}
+}
+
+func TestEstimateMotionValidation(t *testing.T) {
+	frame := make([]float64, videoFrameW*videoFrameH)
+	if _, err := EstimateMotion(frame[:10], frame, 4); err == nil {
+		t.Fatal("short prev accepted")
+	}
+	if _, err := EstimateMotion(frame, frame, -1); err == nil {
+		t.Fatal("negative range accepted")
+	}
+}
+
+// --- Phrase search ---
+
+func TestPhraseSearchFindsKnownPhrase(t *testing.T) {
+	task := Xapian{Docs: 300, Queries: 1}.NewTask(31).(*xapianTask)
+	pi := task.BuildPositionalIndex()
+	// Take an actual 3-term run from a known document; phrase search must
+	// return that document.
+	doc := int32(17)
+	phrase := pi.docs[doc][40:43]
+	hits, err := pi.PhraseSearch(phrase)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, h := range hits {
+		if h == doc {
+			found = true
+		}
+		if !hasConsecutive(pi.docs[h], phrase) {
+			t.Fatalf("doc %d returned but does not contain the phrase", h)
+		}
+	}
+	if !found {
+		t.Fatalf("doc %d contains the phrase but was not returned (hits %v)", doc, hits)
+	}
+	// Results sorted ascending and unique.
+	for i := 1; i < len(hits); i++ {
+		if hits[i] <= hits[i-1] {
+			t.Fatalf("hits unsorted or duplicated: %v", hits)
+		}
+	}
+}
+
+func TestPhraseSearchExhaustive(t *testing.T) {
+	// Cross-check against brute force over the whole corpus.
+	task := Xapian{Docs: 120, Queries: 1}.NewTask(32).(*xapianTask)
+	pi := task.BuildPositionalIndex()
+	phrase := pi.docs[5][10:12]
+	hits, err := pi.PhraseSearch(phrase)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want []int32
+	for d := 0; d < task.docs; d++ {
+		if hasConsecutive(pi.docs[d], phrase) {
+			want = append(want, int32(d))
+		}
+	}
+	if len(hits) != len(want) {
+		t.Fatalf("got %v, want %v", hits, want)
+	}
+	for i := range want {
+		if hits[i] != want[i] {
+			t.Fatalf("got %v, want %v", hits, want)
+		}
+	}
+}
+
+func TestPhraseSearchSingleTermMatchesIndex(t *testing.T) {
+	task := Xapian{Docs: 150, Queries: 1}.NewTask(33).(*xapianTask)
+	pi := task.BuildPositionalIndex()
+	term := int32(3) // a frequent Zipf head term
+	hits, err := pi.PhraseSearch([]int32{term})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hits) != len(pi.index[term]) {
+		t.Fatalf("single-term phrase hits %d ≠ posting list %d", len(hits), len(pi.index[term]))
+	}
+}
+
+func TestPhraseSearchValidation(t *testing.T) {
+	task := Xapian{Docs: 50, Queries: 1}.NewTask(34).(*xapianTask)
+	pi := task.BuildPositionalIndex()
+	if _, err := pi.PhraseSearch(nil); err == nil {
+		t.Fatal("empty phrase accepted")
+	}
+	if _, err := pi.PhraseSearch([]int32{-1}); err == nil {
+		t.Fatal("out-of-vocabulary term accepted")
+	}
+	// An impossible phrase returns no hits without error.
+	hits, err := pi.PhraseSearch([]int32{1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, h := range hits {
+		if !hasConsecutive(pi.docs[h], []int32{1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1}) {
+			t.Fatal("false positive")
+		}
+	}
+}
+
+// TestPositionalIndexConsistentWithTFIndex: term frequencies derived from
+// the positional sequences must match the inverted index the scorer uses.
+func TestPositionalIndexConsistentWithTFIndex(t *testing.T) {
+	task := Xapian{Docs: 100, Queries: 1}.NewTask(35).(*xapianTask)
+	pi := task.BuildPositionalIndex()
+	plainIndex, _ := task.buildIndex()
+	for term := int32(0); term < 50; term++ {
+		if len(pi.index[term]) != len(plainIndex[term]) {
+			t.Fatalf("term %d: positional df %d ≠ plain df %d",
+				term, len(pi.index[term]), len(plainIndex[term]))
+		}
+	}
+}

@@ -1,0 +1,293 @@
+package workload
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+// --- Sort kernel ---
+
+func TestMergeSortRecordsMatchesStdlib(t *testing.T) {
+	state := uint64(99)
+	for _, n := range []int{0, 1, 2, 3, 17, 1000, 4097} {
+		rs := make([]record, n)
+		for i := range rs {
+			state = splitmix64(state)
+			rs[i] = record{key: state % 50, payload: uint32(i)}
+		}
+		want := make([]record, n)
+		copy(want, rs)
+		sort.SliceStable(want, func(i, j int) bool { return want[i].key < want[j].key })
+		mergeSortRecords(rs)
+		for i := range rs {
+			if rs[i] != want[i] {
+				t.Fatalf("n=%d: index %d: got %+v want %+v (merge sort must be stable)", n, i, rs[i], want[i])
+			}
+		}
+	}
+}
+
+func TestMergeSortRecordsProperty(t *testing.T) {
+	f := func(keys []uint16) bool {
+		rs := make([]record, len(keys))
+		for i, k := range keys {
+			rs[i] = record{key: uint64(k), payload: uint32(i)}
+		}
+		mergeSortRecords(rs)
+		for i := 1; i < len(rs); i++ {
+			if rs[i].key < rs[i-1].key {
+				return false
+			}
+			// Stability: equal keys keep original payload order.
+			if rs[i].key == rs[i-1].key && rs[i].payload < rs[i-1].payload {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSortTaskDetectsCorruptOrder(t *testing.T) {
+	// The task verifies global order; a correct run must not error.
+	task := Sort{Records: 2048, Partitions: 3}.NewTask(5)
+	if _, err := task.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// --- Video kernel ---
+
+func TestDCTParseval(t *testing.T) {
+	// An orthonormal DCT preserves energy (Parseval). Our scaling is
+	// orthonormal, so ‖x‖² == ‖X‖².
+	var block, coef [64]float64
+	state := uint64(7)
+	var inEnergy float64
+	for i := range block {
+		state = splitmix64(state)
+		block[i] = float64(state%512) - 256
+		inEnergy += block[i] * block[i]
+	}
+	dct8x8(&block, &coef)
+	var outEnergy float64
+	for _, c := range coef {
+		outEnergy += c * c
+	}
+	if math.Abs(inEnergy-outEnergy) > 1e-6*inEnergy {
+		t.Fatalf("DCT not orthonormal: in %g out %g", inEnergy, outEnergy)
+	}
+}
+
+func TestDCTConstantBlock(t *testing.T) {
+	var block, coef [64]float64
+	for i := range block {
+		block[i] = 100
+	}
+	dct8x8(&block, &coef)
+	// All energy in DC: coef[0] = 100*8 = 800, rest ~0.
+	if math.Abs(coef[0]-800) > 1e-9 {
+		t.Fatalf("DC coefficient %g, want 800", coef[0])
+	}
+	for i := 1; i < 64; i++ {
+		if math.Abs(coef[i]) > 1e-9 {
+			t.Fatalf("AC coefficient %d = %g, want 0", i, coef[i])
+		}
+	}
+}
+
+func TestBitsFor(t *testing.T) {
+	cases := map[int]int{0: 0, 1: 1, -1: 1, 2: 2, 3: 2, 4: 3, -8: 4, 255: 8}
+	for q, want := range cases {
+		if got := bitsFor(q); got != want {
+			t.Fatalf("bitsFor(%d) = %d, want %d", q, got, want)
+		}
+	}
+}
+
+func TestVideoNetDeterministic(t *testing.T) {
+	a := newVideoNet(9)
+	b := newVideoNet(9)
+	feat := [videoClassCount]float64{1, 2, 3, 4, 5, 6, 7, 8}
+	if a.classify(feat) != b.classify(feat) {
+		t.Fatal("same-seed networks disagree")
+	}
+}
+
+// --- StatelessCost kernel ---
+
+func TestBilinearHalveConstant(t *testing.T) {
+	const w = 16
+	src := make([]byte, w*w*4)
+	for i := range src {
+		src[i] = 200
+	}
+	dst := make([]byte, (w/2)*(w/2)*4)
+	bilinearHalve(src, w, dst, w/2)
+	for i, v := range dst {
+		if v != 200 {
+			t.Fatalf("constant image changed at %d: %d", i, v)
+		}
+	}
+}
+
+func TestBilinearHalveAverages(t *testing.T) {
+	// A 2×2 source with channel values 0,100,100,200 averages to 100.
+	src := make([]byte, 2*2*4)
+	vals := []byte{0, 100, 100, 200}
+	for p := 0; p < 4; p++ {
+		for c := 0; c < 4; c++ {
+			src[p*4+c] = vals[p]
+		}
+	}
+	dst := make([]byte, 4)
+	bilinearHalve(src, 2, dst, 1)
+	for c := 0; c < 4; c++ {
+		if dst[c] != 100 {
+			t.Fatalf("channel %d = %d, want 100", c, dst[c])
+		}
+	}
+}
+
+// --- Smith-Waterman kernel ---
+
+func TestAlignLocalIdentity(t *testing.T) {
+	subst := substitutionMatrix(1)
+	seq := randomSequence(3, 50)
+	self := alignLocal(seq, seq, subst)
+	// Self-alignment should score the full diagonal: Σ subst[c][c].
+	var want int32
+	for _, c := range seq {
+		want += subst[c][c]
+	}
+	if self != want {
+		t.Fatalf("self alignment %d, want %d", self, want)
+	}
+}
+
+func TestAlignLocalNeverNegative(t *testing.T) {
+	subst := substitutionMatrix(2)
+	a := randomSequence(10, 30)
+	b := randomSequence(11, 30)
+	if s := alignLocal(a, b, subst); s < 0 {
+		t.Fatalf("local alignment score %d < 0", s)
+	}
+}
+
+func TestAlignLocalSymmetric(t *testing.T) {
+	subst := substitutionMatrix(4)
+	a := randomSequence(20, 40)
+	b := randomSequence(21, 55)
+	if alignLocal(a, b, subst) != alignLocal(b, a, subst) {
+		t.Fatal("SW score not symmetric under sequence swap")
+	}
+}
+
+func TestAlignLocalFindsEmbeddedMatch(t *testing.T) {
+	subst := substitutionMatrix(5)
+	motif := randomSequence(6, 12)
+	// Embed the motif inside an unrelated subject.
+	subject := append(append(randomSequence(7, 20), motif...), randomSequence(8, 20)...)
+	withMotif := alignLocal(motif, subject, subst)
+	withoutMotif := alignLocal(motif, randomSequence(9, 52), subst)
+	if withMotif <= withoutMotif {
+		t.Fatalf("embedded motif (%d) should outscore a random subject (%d)", withMotif, withoutMotif)
+	}
+	var perfect int32
+	for _, c := range motif {
+		perfect += subst[c][c]
+	}
+	if withMotif != perfect {
+		t.Fatalf("embedded exact motif should score perfectly: %d vs %d", withMotif, perfect)
+	}
+}
+
+// --- Xapian kernel ---
+
+func TestZipfTermSkewAndBounds(t *testing.T) {
+	counts := make([]int, xapianVocab)
+	state := uint64(123)
+	const n = 200000
+	for i := 0; i < n; i++ {
+		state = splitmix64(state)
+		term := zipfTerm(state)
+		if term < 0 || term >= xapianVocab {
+			t.Fatalf("term %d out of vocabulary", term)
+		}
+		counts[term]++
+	}
+	// Zipf: head terms vastly more frequent than tail.
+	head := counts[0] + counts[1] + counts[2]
+	tail := counts[xapianVocab-1] + counts[xapianVocab-2] + counts[xapianVocab-3]
+	if head < 10*tail {
+		t.Fatalf("distribution not skewed: head=%d tail=%d", head, tail)
+	}
+}
+
+func TestXapianSearchTopKProperties(t *testing.T) {
+	task := Xapian{Docs: 300, Queries: 1, TopK: 5}.NewTask(77).(*xapianTask)
+	index, docLens := task.buildIndex()
+	idf := make([]float64, xapianVocab)
+	for term, plist := range index {
+		if len(plist) > 0 {
+			idf[term] = math.Log(float64(task.docs) / float64(len(plist)))
+		}
+	}
+	scores := make([]float64, task.docs)
+	touched := make([]int32, 0, 1024)
+	top := task.search(index, docLens, idf, []int32{1, 5, 40, 900}, scores, &touched)
+	if len(top) == 0 || len(top) > 5 {
+		t.Fatalf("top-k size %d", len(top))
+	}
+	seen := map[int32]bool{}
+	for _, d := range top {
+		if d < 0 || int(d) >= task.docs {
+			t.Fatalf("result doc %d out of range", d)
+		}
+		if seen[d] {
+			t.Fatalf("duplicate doc %d in results", d)
+		}
+		seen[d] = true
+	}
+	// Scratch scores must be fully reset for the next query.
+	for d, s := range scores {
+		if s != 0 {
+			t.Fatalf("score scratch not reset at doc %d: %g", d, s)
+		}
+	}
+}
+
+// --- Local packed executor ---
+
+func TestRunPackedProducesDistinctChecksums(t *testing.T) {
+	res, err := RunPacked(StatelessCost{Images: 1, SrcSize: 32}, 4, 2, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Checksums) != 4 {
+		t.Fatalf("got %d checksums, want 4", len(res.Checksums))
+	}
+	seen := map[uint64]bool{}
+	for _, c := range res.Checksums {
+		if seen[c] {
+			t.Fatal("two packed functions with different seeds produced identical checksums")
+		}
+		seen[c] = true
+	}
+	if res.Wall <= 0 {
+		t.Fatal("non-positive wall time")
+	}
+}
+
+func TestRunPackedValidation(t *testing.T) {
+	if _, err := RunPacked(Video{}, 0, 1, 1); err == nil {
+		t.Fatal("degree 0 accepted")
+	}
+	if _, err := RunPacked(Video{}, 1, 0, 1); err == nil {
+		t.Fatal("cores 0 accepted")
+	}
+}

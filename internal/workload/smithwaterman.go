@@ -1,0 +1,172 @@
+package workload
+
+import (
+	"fmt"
+
+	"repro/internal/interfere"
+)
+
+// SmithWaterman is the parallel bioinformatics benchmark: local alignment of
+// a query protein against a database of subject sequences with affine gap
+// penalties. Each serverless function aligns the query against one shard of
+// the database — a large number of independent, compute-intensive dynamic
+// programs, which is why this application packs poorly past the core count
+// (paper Fig. 17: maximum degree 35, Oracle degree far lower).
+type SmithWaterman struct {
+	// QueryLen is the query length; zero means the default (200).
+	QueryLen int
+	// Subjects is the number of database sequences per shard; zero means
+	// the default.
+	Subjects int
+	// SubjectLen is each subject's length; zero means the default (256).
+	SubjectLen int
+}
+
+// Name implements Workload.
+func (SmithWaterman) Name() string { return "Smith-Waterman" }
+
+// Demand implements Workload. 292 MB per function gives the paper's maximum
+// packing degree of 35 on a 10 GB instance; the demand is overwhelmingly
+// CPU, with cache-resident DP rows (low bandwidth need).
+func (SmithWaterman) Demand() interfere.Demand {
+	return interfere.Demand{
+		CPUSeconds:      92,
+		IOSeconds:       10,
+		MemoryMB:        292,
+		MemBWMBps:       3600,
+		InputMB:         12,
+		OutputMB:        0.2,
+		ShuffleFraction: 0,
+	}
+}
+
+const (
+	swDefaultQueryLen   = 200
+	swDefaultSubjects   = 48
+	swDefaultSubjectLen = 256
+
+	swGapOpen   = 11
+	swGapExtend = 1
+	alphabet    = 20 // amino acids
+)
+
+// NewTask implements Workload.
+func (s SmithWaterman) NewTask(seed int64) Task {
+	t := &swTask{
+		seed:       uint64(seed),
+		queryLen:   s.QueryLen,
+		subjects:   s.Subjects,
+		subjectLen: s.SubjectLen,
+	}
+	if t.queryLen <= 0 {
+		t.queryLen = swDefaultQueryLen
+	}
+	if t.subjects <= 0 {
+		t.subjects = swDefaultSubjects
+	}
+	if t.subjectLen <= 0 {
+		t.subjectLen = swDefaultSubjectLen
+	}
+	return t
+}
+
+type swTask struct {
+	seed       uint64
+	queryLen   int
+	subjects   int
+	subjectLen int
+}
+
+// Run aligns the query against every subject in the shard and folds each
+// best local score into the checksum. The DP uses the standard Gotoh
+// affine-gap recurrence in linear space (two rows).
+func (t *swTask) Run() (uint64, error) {
+	if t.queryLen < 1 || t.subjects < 1 || t.subjectLen < 1 {
+		return 0, fmt.Errorf("smithwaterman: invalid shape %+v", *t)
+	}
+	subst := substitutionMatrix(t.seed)
+	query := randomSequence(t.seed^0x9e770, t.queryLen)
+	sum := t.seed
+	for s := 0; s < t.subjects; s++ {
+		subject := randomSequence(splitmix64(t.seed^uint64(s+1)), t.subjectLen)
+		score := alignLocal(query, subject, subst)
+		if score < 0 {
+			return 0, fmt.Errorf("smithwaterman: negative local score %d", score)
+		}
+		sum = mix(sum, uint64(score))
+	}
+	return sum, nil
+}
+
+func randomSequence(seed uint64, n int) []byte {
+	s := make([]byte, n)
+	state := seed
+	for i := range s {
+		state = splitmix64(state)
+		s[i] = byte(state % alphabet)
+	}
+	return s
+}
+
+// substitutionMatrix builds a deterministic BLOSUM-like matrix: strong
+// positive diagonal, mildly negative off-diagonal with symmetric noise.
+func substitutionMatrix(seed uint64) *[alphabet][alphabet]int32 {
+	var m [alphabet][alphabet]int32
+	state := splitmix64(seed ^ 0xb105)
+	for i := 0; i < alphabet; i++ {
+		for j := i; j < alphabet; j++ {
+			state = splitmix64(state)
+			var v int32
+			if i == j {
+				v = 4 + int32(state%6) // 4..9
+			} else {
+				v = -4 + int32(state%5) // -4..0
+			}
+			m[i][j], m[j][i] = v, v
+		}
+	}
+	return &m
+}
+
+// alignLocal computes the best Smith-Waterman local alignment score of q vs
+// s under affine gaps, in O(len(q)) space.
+func alignLocal(q, s []byte, subst *[alphabet][alphabet]int32) int32 {
+	n := len(q)
+	const negInf = int32(-1 << 30)
+	h := make([]int32, n+1) // best score ending at (i, j)
+	e := make([]int32, n+1) // best score ending in a gap in s
+	var best int32
+	for i := range e {
+		e[i] = negInf
+	}
+	for j := 1; j <= len(s); j++ {
+		var diag int32  // h[j-1 row above][i-1]
+		f := negInf     // gap in q for this row
+		var prevH int32 // h[current row][i-1]
+		for i := 1; i <= n; i++ {
+			up := h[i]
+			e[i] = max32(e[i]-swGapExtend, up-swGapOpen)
+			f = max32(f-swGapExtend, prevH-swGapOpen)
+			score := diag + subst[q[i-1]][s[j-1]]
+			score = max32(score, e[i])
+			score = max32(score, f)
+			if score < 0 {
+				score = 0
+			}
+			diag = up
+			h[i] = score
+			prevH = score
+			if score > best {
+				best = score
+			}
+		}
+	}
+	return best
+}
+
+func max32(a, b int32) int32 {
+	if a > b {
+		return a
+	}
+	return b
+}

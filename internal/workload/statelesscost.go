@@ -1,0 +1,118 @@
+package workload
+
+import (
+	"fmt"
+
+	"repro/internal/interfere"
+)
+
+// StatelessCost is the image-resizing benchmark from ServerlessBench: many
+// small stateless requests, each resizing one image — the archetype of a
+// short-running, massively parallel serverless application (AWS's serverless
+// image handler does the same job).
+type StatelessCost struct {
+	// Images per task; zero means the calibrated default.
+	Images int
+	// SrcSize is the square source dimension; zero means the default (256).
+	SrcSize int
+}
+
+// Name implements Workload.
+func (StatelessCost) Name() string { return "Stateless Cost" }
+
+// Demand implements Workload. 341 MB per function gives the paper's maximum
+// packing degree of 30 on a 10 GB instance. The app is the shortest-running
+// of the suite.
+func (StatelessCost) Demand() interfere.Demand {
+	return interfere.Demand{
+		CPUSeconds:      22,
+		IOSeconds:       18,
+		MemoryMB:        341,
+		MemBWMBps:       1600,
+		InputMB:         4,
+		OutputMB:        1,
+		ShuffleFraction: 0,
+	}
+}
+
+const (
+	scDefaultImages = 16
+	scDefaultSrc    = 256
+)
+
+// NewTask implements Workload.
+func (s StatelessCost) NewTask(seed int64) Task {
+	n := s.Images
+	if n <= 0 {
+		n = scDefaultImages
+	}
+	src := s.SrcSize
+	if src <= 0 {
+		src = scDefaultSrc
+	}
+	return &resizeTask{seed: uint64(seed), images: n, src: src}
+}
+
+type resizeTask struct {
+	seed   uint64
+	images int
+	src    int
+}
+
+// Run synthesizes RGBA images and downscales each to half size with
+// bilinear interpolation, folding the resized pixels into the checksum.
+func (t *resizeTask) Run() (uint64, error) {
+	if t.images <= 0 || t.src < 2 {
+		return 0, fmt.Errorf("statelesscost: invalid task shape images=%d src=%d", t.images, t.src)
+	}
+	srcW := t.src
+	dstW := srcW / 2
+	src := make([]byte, srcW*srcW*4)
+	dst := make([]byte, dstW*dstW*4)
+	sum := t.seed
+	for img := 0; img < t.images; img++ {
+		t.synthesizeImage(src, srcW, uint64(img))
+		bilinearHalve(src, srcW, dst, dstW)
+		for i := 0; i < len(dst); i += 8 {
+			var v uint64
+			for b := 0; b < 8 && i+b < len(dst); b++ {
+				v = v<<8 | uint64(dst[i+b])
+			}
+			sum = mix(sum, v)
+		}
+	}
+	return sum, nil
+}
+
+func (t *resizeTask) synthesizeImage(buf []byte, w int, img uint64) {
+	state := splitmix64(t.seed ^ (img << 17))
+	for y := 0; y < w; y++ {
+		for x := 0; x < w; x++ {
+			state = splitmix64(state)
+			i := (y*w + x) * 4
+			// Smooth gradient plus hash noise: realistic interpolation input.
+			buf[i+0] = byte((x*255/w + int(state%31)) & 0xff)
+			buf[i+1] = byte((y*255/w + int((state>>8)%31)) & 0xff)
+			buf[i+2] = byte(((x + y) * 127 / w) & 0xff)
+			buf[i+3] = 0xff
+		}
+	}
+}
+
+// bilinearHalve downscales a square RGBA image to half its side using exact
+// 2×2 box filtering (the bilinear kernel at scale 0.5).
+func bilinearHalve(src []byte, srcW int, dst []byte, dstW int) {
+	for y := 0; y < dstW; y++ {
+		for x := 0; x < dstW; x++ {
+			sx, sy := x*2, y*2
+			di := (y*dstW + x) * 4
+			for c := 0; c < 4; c++ {
+				s := int(src[(sy*srcW+sx)*4+c]) +
+					int(src[(sy*srcW+sx+1)*4+c]) +
+					int(src[((sy+1)*srcW+sx)*4+c]) +
+					int(src[((sy+1)*srcW+sx+1)*4+c])
+				dst[di+c] = byte(s / 4)
+			}
+		}
+	}
+}

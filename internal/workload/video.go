@@ -1,0 +1,248 @@
+package workload
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/interfere"
+)
+
+// Video is the Thousand Island Scanner distributed video-processing
+// benchmark: each function receives a chunk of video, encodes it (DCT +
+// quantization, the core of any block codec), and classifies the frames with
+// a small neural network (the paper uses an MXNet DNN).
+//
+// All functions of one job read the same 5.2 MB input clip, so a packed
+// instance fetches it once (SharedInput).
+type Video struct {
+	// Frames per task; zero means the calibrated default.
+	Frames int
+}
+
+// Name implements Workload.
+func (Video) Name() string { return "Video" }
+
+// Demand implements Workload. 256 MB per function gives the paper's maximum
+// packing degree of 40 on a 10 GB instance.
+func (Video) Demand() interfere.Demand {
+	return interfere.Demand{
+		CPUSeconds:      55,
+		IOSeconds:       45,
+		MemoryMB:        256,
+		MemBWMBps:       2200,
+		InputMB:         5.2,
+		OutputMB:        1.5,
+		ShuffleFraction: 0.1,
+		SharedInput:     true,
+	}
+}
+
+const (
+	videoFrameW       = 64
+	videoFrameH       = 64
+	videoDefaultNum   = 24
+	videoHiddenUnits  = 16
+	videoClassCount   = 8
+	videoQuantization = 12
+)
+
+// NewTask implements Workload.
+func (v Video) NewTask(seed int64) Task {
+	frames := v.Frames
+	if frames <= 0 {
+		frames = videoDefaultNum
+	}
+	return &videoTask{seed: uint64(seed), frames: frames}
+}
+
+type videoTask struct {
+	seed   uint64
+	frames int
+}
+
+// Run synthesizes frames, encodes each 8×8 block with a DCT + quantization
+// pass, then classifies the frame from its block-energy histogram with a
+// fixed two-layer perceptron. The returned checksum folds in both the
+// encoded-size stream and the predicted classes.
+func (t *videoTask) Run() (uint64, error) {
+	if t.frames <= 0 {
+		return 0, fmt.Errorf("video: non-positive frame count %d", t.frames)
+	}
+	net := newVideoNet(t.seed)
+	sum := t.seed
+	frame := make([]float64, videoFrameW*videoFrameH)
+	for f := 0; f < t.frames; f++ {
+		t.synthesizeFrame(frame, uint64(f))
+		encodedBits, features := encodeFrame(frame)
+		class := net.classify(features)
+		sum = mix(sum, uint64(encodedBits))
+		sum = mix(sum, uint64(class))
+		// Rate-control style quality check: every eighth frame takes the
+		// full decode path and must reconstruct acceptably.
+		if f%8 == 0 {
+			_, psnr, err := EncodeDecodeFrame(frame, videoQuantization)
+			if err != nil {
+				return 0, err
+			}
+			if psnr < 20 {
+				return 0, fmt.Errorf("video: frame %d reconstruction too poor: %.1f dB", f, psnr)
+			}
+			sum = mix(sum, uint64(psnr*100))
+		}
+	}
+	return sum, nil
+}
+
+// synthesizeFrame fills buf with a deterministic moving pattern plus noise —
+// enough spatial correlation that the DCT has realistic energy compaction.
+func (t *videoTask) synthesizeFrame(buf []float64, f uint64) {
+	phase := float64(f) * 0.37
+	state := splitmix64(t.seed ^ f)
+	for y := 0; y < videoFrameH; y++ {
+		for x := 0; x < videoFrameW; x++ {
+			s := 128 +
+				64*math.Sin(float64(x)/9+phase) +
+				48*math.Cos(float64(y)/7-phase)
+			state = splitmix64(state)
+			noise := float64(state%17) - 8
+			buf[y*videoFrameW+x] = s + noise
+		}
+	}
+}
+
+// encodeFrame runs an 8×8 DCT-II over every block, quantizes the
+// coefficients, counts the bits a run-length coder would emit, and returns
+// that bit count plus a block-energy feature vector for the classifier.
+func encodeFrame(frame []float64) (encodedBits int, features [videoClassCount]float64) {
+	var block [64]float64
+	var coef [64]float64
+	for by := 0; by < videoFrameH; by += 8 {
+		for bx := 0; bx < videoFrameW; bx += 8 {
+			for y := 0; y < 8; y++ {
+				for x := 0; x < 8; x++ {
+					block[y*8+x] = frame[(by+y)*videoFrameW+bx+x]
+				}
+			}
+			dct8x8(&block, &coef)
+			energy := 0.0
+			for i, c := range coef {
+				q := int(c / videoQuantization)
+				if q != 0 {
+					// A nonzero quantized coefficient costs ~log2(|q|)+2 bits
+					// in a typical entropy coder.
+					encodedBits += 2 + bitsFor(q)
+					energy += math.Abs(c)
+				}
+				_ = i
+			}
+			bucket := int(energy/1500) % videoClassCount
+			if bucket < 0 {
+				bucket += videoClassCount
+			}
+			features[bucket]++
+		}
+	}
+	return encodedBits, features
+}
+
+func bitsFor(q int) int {
+	if q < 0 {
+		q = -q
+	}
+	n := 0
+	for q > 0 {
+		n++
+		q >>= 1
+	}
+	return n
+}
+
+// dct8x8 computes a separable 8×8 DCT-II of src into dst.
+func dct8x8(src, dst *[64]float64) {
+	var tmp [64]float64
+	// Rows.
+	for y := 0; y < 8; y++ {
+		for u := 0; u < 8; u++ {
+			var s float64
+			for x := 0; x < 8; x++ {
+				s += src[y*8+x] * dctCos[x][u]
+			}
+			tmp[y*8+u] = s * dctScale(u)
+		}
+	}
+	// Columns.
+	for u := 0; u < 8; u++ {
+		for v := 0; v < 8; v++ {
+			var s float64
+			for y := 0; y < 8; y++ {
+				s += tmp[y*8+u] * dctCos[y][v]
+			}
+			dst[v*8+u] = s * dctScale(v)
+		}
+	}
+}
+
+func dctScale(u int) float64 {
+	if u == 0 {
+		return math.Sqrt(1.0 / 8)
+	}
+	return math.Sqrt(2.0 / 8)
+}
+
+var dctCos = func() (c [8][8]float64) {
+	for x := 0; x < 8; x++ {
+		for u := 0; u < 8; u++ {
+			c[x][u] = math.Cos((2*float64(x) + 1) * float64(u) * math.Pi / 16)
+		}
+	}
+	return c
+}()
+
+// videoNet is a fixed two-layer perceptron standing in for the paper's
+// MXNet classifier. Weights derive deterministically from the task seed.
+type videoNet struct {
+	w1 [videoClassCount][videoHiddenUnits]float64
+	w2 [videoHiddenUnits][videoClassCount]float64
+}
+
+func newVideoNet(seed uint64) *videoNet {
+	n := &videoNet{}
+	state := splitmix64(seed ^ 0x51dec0de00001ee5) // distinct stream from inputs
+	for i := range n.w1 {
+		for j := range n.w1[i] {
+			state = splitmix64(state)
+			n.w1[i][j] = float64(int64(state%2001)-1000) / 1000
+		}
+	}
+	for i := range n.w2 {
+		for j := range n.w2[i] {
+			state = splitmix64(state)
+			n.w2[i][j] = float64(int64(state%2001)-1000) / 1000
+		}
+	}
+	return n
+}
+
+func (n *videoNet) classify(features [videoClassCount]float64) int {
+	var hidden [videoHiddenUnits]float64
+	for j := 0; j < videoHiddenUnits; j++ {
+		var s float64
+		for i := 0; i < videoClassCount; i++ {
+			s += features[i] * n.w1[i][j]
+		}
+		if s > 0 { // ReLU
+			hidden[j] = s
+		}
+	}
+	best, bestV := 0, math.Inf(-1)
+	for k := 0; k < videoClassCount; k++ {
+		var s float64
+		for j := 0; j < videoHiddenUnits; j++ {
+			s += hidden[j] * n.w2[j][k]
+		}
+		if s > bestV {
+			best, bestV = k, s
+		}
+	}
+	return best
+}

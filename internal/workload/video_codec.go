@@ -1,0 +1,98 @@
+package workload
+
+import (
+	"fmt"
+	"math"
+)
+
+// Codec round-trip support for the Video workload: the inverse DCT and a
+// PSNR meter. The encode path (dct8x8 + quantization) lives in video.go;
+// decoding back and measuring reconstruction quality makes the kernel a
+// genuine (if tiny) block codec rather than a one-way hash, and gives the
+// tests a strong invariant: IDCT∘DCT is the identity, and quantization
+// error is bounded by the quantization step.
+
+// idct8x8 computes the inverse of dct8x8: a separable 8×8 DCT-III with the
+// matching orthonormal scaling.
+func idct8x8(src, dst *[64]float64) {
+	var tmp [64]float64
+	// Columns (inverse of the second pass of dct8x8).
+	for u := 0; u < 8; u++ {
+		for y := 0; y < 8; y++ {
+			var s float64
+			for v := 0; v < 8; v++ {
+				s += src[v*8+u] * dctScale(v) * dctCos[y][v]
+			}
+			tmp[y*8+u] = s
+		}
+	}
+	// Rows.
+	for y := 0; y < 8; y++ {
+		for x := 0; x < 8; x++ {
+			var s float64
+			for u := 0; u < 8; u++ {
+				s += tmp[y*8+u] * dctScale(u) * dctCos[x][u]
+			}
+			dst[y*8+x] = s
+		}
+	}
+}
+
+// quantizeBlock rounds coefficients to multiples of step.
+func quantizeBlock(coef *[64]float64, step float64, out *[64]float64) {
+	for i, c := range coef {
+		out[i] = math.Round(c/step) * step
+	}
+}
+
+// EncodeDecodeFrame runs the full codec loop over one frame: per-block DCT,
+// quantization at the given step, inverse DCT, and reassembly. It returns
+// the reconstructed frame and the PSNR (dB) against the original, assuming
+// 8-bit dynamic range. Frames must be videoFrameW×videoFrameH.
+func EncodeDecodeFrame(frame []float64, step float64) ([]float64, float64, error) {
+	if len(frame) != videoFrameW*videoFrameH {
+		return nil, 0, fmt.Errorf("video: frame size %d, want %d", len(frame), videoFrameW*videoFrameH)
+	}
+	if step <= 0 {
+		return nil, 0, fmt.Errorf("video: non-positive quantization step %g", step)
+	}
+	recon := make([]float64, len(frame))
+	var block, coef, quant, back [64]float64
+	for by := 0; by < videoFrameH; by += 8 {
+		for bx := 0; bx < videoFrameW; bx += 8 {
+			for y := 0; y < 8; y++ {
+				for x := 0; x < 8; x++ {
+					block[y*8+x] = frame[(by+y)*videoFrameW+bx+x]
+				}
+			}
+			dct8x8(&block, &coef)
+			quantizeBlock(&coef, step, &quant)
+			idct8x8(&quant, &back)
+			for y := 0; y < 8; y++ {
+				for x := 0; x < 8; x++ {
+					recon[(by+y)*videoFrameW+bx+x] = back[y*8+x]
+				}
+			}
+		}
+	}
+	return recon, PSNR(frame, recon, 255), nil
+}
+
+// PSNR computes the peak signal-to-noise ratio in decibels between two
+// equal-length signals with the given peak value. Identical signals yield
+// +Inf.
+func PSNR(a, b []float64, peak float64) float64 {
+	if len(a) != len(b) || len(a) == 0 {
+		return math.NaN()
+	}
+	var mse float64
+	for i := range a {
+		d := a[i] - b[i]
+		mse += d * d
+	}
+	mse /= float64(len(a))
+	if mse == 0 {
+		return math.Inf(1)
+	}
+	return 10 * math.Log10(peak*peak/mse)
+}

@@ -1,0 +1,107 @@
+package workload
+
+import (
+	"fmt"
+	"math"
+)
+
+// Motion estimation: the inter-frame half of a real video codec. Each 8×8
+// block of the current frame searches a ±searchRange window in the previous
+// frame for the position minimizing the sum of absolute differences (SAD) —
+// full-search block matching, the reference algorithm hardware encoders
+// approximate.
+
+// MotionVector is one block's displacement into the previous frame.
+type MotionVector struct {
+	DX, DY int
+	SAD    float64
+}
+
+// MotionField holds one vector per 8×8 block in raster order.
+type MotionField struct {
+	BlocksX, BlocksY int
+	Vectors          []MotionVector
+}
+
+// At returns the vector of block (bx, by).
+func (f MotionField) At(bx, by int) MotionVector {
+	return f.Vectors[by*f.BlocksX+bx]
+}
+
+// TotalSAD sums the residual energy across blocks — the quantity a rate
+// controller watches.
+func (f MotionField) TotalSAD() float64 {
+	var s float64
+	for _, v := range f.Vectors {
+		s += v.SAD
+	}
+	return s
+}
+
+// EstimateMotion computes the full-search motion field of cur against prev.
+// Both frames must be videoFrameW×videoFrameH. Blocks at the frame edge
+// only consider displacements that stay inside the frame.
+func EstimateMotion(prev, cur []float64, searchRange int) (MotionField, error) {
+	if len(prev) != videoFrameW*videoFrameH || len(cur) != videoFrameW*videoFrameH {
+		return MotionField{}, fmt.Errorf("video: frame size %d/%d, want %d",
+			len(prev), len(cur), videoFrameW*videoFrameH)
+	}
+	if searchRange < 0 {
+		return MotionField{}, fmt.Errorf("video: negative search range %d", searchRange)
+	}
+	field := MotionField{BlocksX: videoFrameW / 8, BlocksY: videoFrameH / 8}
+	for by := 0; by < videoFrameH; by += 8 {
+		for bx := 0; bx < videoFrameW; bx += 8 {
+			best := MotionVector{SAD: math.Inf(1)}
+			for dy := -searchRange; dy <= searchRange; dy++ {
+				for dx := -searchRange; dx <= searchRange; dx++ {
+					sy, sx := by+dy, bx+dx
+					if sy < 0 || sx < 0 || sy+8 > videoFrameH || sx+8 > videoFrameW {
+						continue
+					}
+					var sad float64
+					for y := 0; y < 8 && sad < best.SAD; y++ {
+						rowCur := (by+y)*videoFrameW + bx
+						rowPrev := (sy+y)*videoFrameW + sx
+						for x := 0; x < 8; x++ {
+							sad += math.Abs(cur[rowCur+x] - prev[rowPrev+x])
+						}
+					}
+					// Strict improvement keeps the zero vector on ties, the
+					// convention codecs use to favour cheap skip blocks.
+					if sad < best.SAD {
+						best = MotionVector{DX: dx, DY: dy, SAD: sad}
+					}
+				}
+			}
+			field.Vectors = append(field.Vectors, best)
+		}
+	}
+	return field, nil
+}
+
+// shiftFrame translates a frame by (dx, dy), clamping at the border — a
+// test helper exercised by the motion-estimation invariants, exported to
+// the package's tests only through use in videoTask below.
+func shiftFrame(frame []float64, dx, dy int) []float64 {
+	out := make([]float64, len(frame))
+	for y := 0; y < videoFrameH; y++ {
+		for x := 0; x < videoFrameW; x++ {
+			sx, sy := x-dx, y-dy
+			if sx < 0 {
+				sx = 0
+			}
+			if sx >= videoFrameW {
+				sx = videoFrameW - 1
+			}
+			if sy < 0 {
+				sy = 0
+			}
+			if sy >= videoFrameH {
+				sy = videoFrameH - 1
+			}
+			out[y*videoFrameW+x] = frame[sy*videoFrameW+sx]
+		}
+	}
+	return out
+}

@@ -1,0 +1,83 @@
+// Package workload implements the five serverless benchmarks the paper
+// evaluates: Thousand Island Scanner video processing (Video), Map Reduce
+// Sort (Sort), Stateless Cost image resizing (StatelessCost), the
+// Smith-Waterman protein aligner (SmithWaterman), and the Xapian search
+// engine (Xapian).
+//
+// Each workload carries two faces:
+//
+//   - a real Go kernel (NewTask) that actually computes — used by the
+//     examples, the local packed executor, and the unit tests; and
+//   - a resource Demand used by the datacenter simulator to execute the same
+//     application at 5000-way concurrency in milliseconds of wall time.
+//
+// Demands are calibrated so the maximum packing degrees on a 10 GB instance
+// match the paper: Video 40, Sort 15, StatelessCost 30, Smith-Waterman 35.
+package workload
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/interfere"
+)
+
+// Task is one logical serverless function invocation: a self-contained unit
+// of real computation. Run returns a checksum so the compiler cannot elide
+// the work and tests can assert determinism.
+type Task interface {
+	Run() (checksum uint64, err error)
+}
+
+// Workload is a benchmark application.
+type Workload interface {
+	// Name is the short identifier used in experiment tables ("Video").
+	Name() string
+	// Demand is the per-function resource profile fed to the simulator.
+	Demand() interfere.Demand
+	// NewTask builds one invocation's worth of real work, deterministically
+	// derived from seed.
+	NewTask(seed int64) Task
+}
+
+// All returns the paper's benchmark suite in its canonical order: the three
+// motivation benchmarks first (Figs. 1–16), then Smith-Waterman (Fig. 17)
+// and Xapian (Fig. 20).
+func All() []Workload {
+	return []Workload{Video{}, Sort{}, StatelessCost{}, SmithWaterman{}, Xapian{}}
+}
+
+// Motivation returns the three benchmarks used throughout the motivation and
+// main evaluation figures: Video, Sort, StatelessCost.
+func Motivation() []Workload {
+	return []Workload{Video{}, Sort{}, StatelessCost{}}
+}
+
+// ByName looks a workload up by its Name; the match is exact.
+func ByName(name string) (Workload, error) {
+	for _, w := range All() {
+		if w.Name() == name {
+			return w, nil
+		}
+	}
+	names := make([]string, 0, len(All()))
+	for _, w := range All() {
+		names = append(names, w.Name())
+	}
+	sort.Strings(names)
+	return nil, fmt.Errorf("workload: unknown workload %q (have %v)", name, names)
+}
+
+// splitmix64 advances and hashes a seed; all workload input generators use
+// it so inputs are deterministic and cheap to produce.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// mix folds v into a running checksum.
+func mix(sum, v uint64) uint64 {
+	return splitmix64(sum ^ v)
+}

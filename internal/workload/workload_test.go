@@ -1,0 +1,124 @@
+package workload
+
+import (
+	"testing"
+
+	"repro/internal/interfere"
+)
+
+// lambdaShape mirrors the 10 GB / 6-core Lambda instance the paper packs
+// into.
+func lambdaShape() interfere.Shape {
+	return interfere.Shape{Cores: 6, MemoryMB: 10240, MemBWMBps: 25600,
+		ContentionRate: 0.38, BWWeight: 0.3, IsolationFactor: 1}
+}
+
+func TestRegistry(t *testing.T) {
+	all := All()
+	if len(all) != 5 {
+		t.Fatalf("suite has %d workloads, want 5", len(all))
+	}
+	seen := map[string]bool{}
+	for _, w := range all {
+		if seen[w.Name()] {
+			t.Fatalf("duplicate workload name %q", w.Name())
+		}
+		seen[w.Name()] = true
+		got, err := ByName(w.Name())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Name() != w.Name() {
+			t.Fatalf("ByName(%q) returned %q", w.Name(), got.Name())
+		}
+	}
+	if _, err := ByName("NotAWorkload"); err == nil {
+		t.Fatal("unknown name accepted")
+	}
+	if len(Motivation()) != 3 {
+		t.Fatal("motivation suite should have 3 workloads")
+	}
+}
+
+func TestDemandsValidAndCalibrated(t *testing.T) {
+	shape := lambdaShape()
+	wantMax := map[string]int{
+		"Video":          40, // paper Fig. 8
+		"Sort":           15, // paper Fig. 8
+		"Stateless Cost": 30, // paper Fig. 8
+		"Smith-Waterman": 35, // paper Sec. 4
+		"Xapian":         20,
+	}
+	for _, w := range All() {
+		d := w.Demand()
+		if err := d.Validate(); err != nil {
+			t.Fatalf("%s: %v", w.Name(), err)
+		}
+		if got := shape.MaxDegree(d); got != wantMax[w.Name()] {
+			t.Fatalf("%s: max packing degree %d, want %d", w.Name(), got, wantMax[w.Name()])
+		}
+	}
+}
+
+func TestTasksDeterministic(t *testing.T) {
+	for _, w := range All() {
+		w := w
+		t.Run(w.Name(), func(t *testing.T) {
+			t.Parallel()
+			a, err := smallTask(w, 42).Run()
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := smallTask(w, 42).Run()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if a != b {
+				t.Fatalf("same seed produced different checksums: %x vs %x", a, b)
+			}
+			c, err := smallTask(w, 43).Run()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if a == c {
+				t.Fatalf("different seeds produced identical checksum %x", a)
+			}
+		})
+	}
+}
+
+// smallTask shrinks each workload so the suite stays fast.
+func smallTask(w Workload, seed int64) Task {
+	switch w.(type) {
+	case Video:
+		return Video{Frames: 3}.NewTask(seed)
+	case Sort:
+		return Sort{Records: 4096, Partitions: 4}.NewTask(seed)
+	case StatelessCost:
+		return StatelessCost{Images: 2, SrcSize: 64}.NewTask(seed)
+	case SmithWaterman:
+		return SmithWaterman{QueryLen: 64, Subjects: 4, SubjectLen: 64}.NewTask(seed)
+	case Xapian:
+		return Xapian{Docs: 200, Queries: 8}.NewTask(seed)
+	default:
+		return w.NewTask(seed)
+	}
+}
+
+func TestTaskValidation(t *testing.T) {
+	bads := []Task{
+		&videoTask{frames: 0},
+		&sortTask{records: 0, partitions: 2},
+		&sortTask{records: 10, partitions: 0},
+		&resizeTask{images: 0, src: 64},
+		&resizeTask{images: 1, src: 1},
+		&swTask{queryLen: 0, subjects: 1, subjectLen: 1},
+		&xapianTask{docs: 0, queries: 1, topK: 1},
+		&xapianTask{docs: 1, queries: 1, topK: 0},
+	}
+	for i, task := range bads {
+		if _, err := task.Run(); err == nil {
+			t.Fatalf("bad task %d accepted", i)
+		}
+	}
+}

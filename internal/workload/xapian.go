@@ -1,0 +1,200 @@
+package workload
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+
+	"repro/internal/interfere"
+)
+
+// Xapian is the latency-critical search benchmark from TailBench: a search
+// engine serving ranked queries over Wikipedia-like pages with a strict QoS
+// bound on the 95th-percentile latency. Each serverless function builds (or
+// receives) an index shard and serves a batch of queries against it with
+// tf-idf ranking.
+type Xapian struct {
+	// Docs in the shard; zero means the calibrated default.
+	Docs int
+	// Queries served per task; zero means the default.
+	Queries int
+	// TopK results per query; zero means the default (10).
+	TopK int
+}
+
+// Name implements Workload.
+func (Xapian) Name() string { return "Xapian" }
+
+// Demand implements Workload. 512 MB per function bounds the packing degree
+// at 20; the app is the shortest-running of the suite, matching its
+// latency-critical role.
+func (Xapian) Demand() interfere.Demand {
+	return interfere.Demand{
+		CPUSeconds:      14,
+		IOSeconds:       8,
+		MemoryMB:        512,
+		MemBWMBps:       2600,
+		InputMB:         20,
+		OutputMB:        0.5,
+		ShuffleFraction: 0,
+	}
+}
+
+const (
+	xapianDefaultDocs    = 2000
+	xapianDefaultQueries = 64
+	xapianDefaultTopK    = 10
+	xapianVocab          = 5000
+	xapianDocLen         = 120
+	xapianQueryTerms     = 4
+)
+
+// NewTask implements Workload.
+func (x Xapian) NewTask(seed int64) Task {
+	t := &xapianTask{seed: uint64(seed), docs: x.Docs, queries: x.Queries, topK: x.TopK}
+	if t.docs <= 0 {
+		t.docs = xapianDefaultDocs
+	}
+	if t.queries <= 0 {
+		t.queries = xapianDefaultQueries
+	}
+	if t.topK <= 0 {
+		t.topK = xapianDefaultTopK
+	}
+	return t
+}
+
+type xapianTask struct {
+	seed    uint64
+	docs    int
+	queries int
+	topK    int
+}
+
+type posting struct {
+	doc int32
+	tf  int32
+}
+
+// Run builds an inverted index over a synthetic Zipf-distributed corpus,
+// then serves ranked tf-idf queries, folding the top document IDs of every
+// query into the checksum.
+func (t *xapianTask) Run() (uint64, error) {
+	if t.docs < 1 || t.queries < 0 || t.topK < 1 {
+		return 0, fmt.Errorf("xapian: invalid shape %+v", *t)
+	}
+	index, docLens := t.buildIndex()
+	idf := make([]float64, xapianVocab)
+	for term, plist := range index {
+		if len(plist) > 0 {
+			idf[term] = math.Log(float64(t.docs) / float64(len(plist)))
+		}
+	}
+	sum := t.seed
+	state := splitmix64(t.seed ^ 0x9e41e5)
+	scores := make([]float64, t.docs)
+	touched := make([]int32, 0, 4096)
+	for q := 0; q < t.queries; q++ {
+		// Compose a query of distinct Zipf-sampled terms.
+		var terms [xapianQueryTerms]int32
+		for i := range terms {
+			state = splitmix64(state)
+			terms[i] = zipfTerm(state)
+		}
+		top := t.search(index, docLens, idf, terms[:], scores, &touched)
+		for _, d := range top {
+			sum = mix(sum, uint64(d))
+		}
+	}
+	return sum, nil
+}
+
+func (t *xapianTask) buildIndex() (index [][]posting, docLens []int32) {
+	index = make([][]posting, xapianVocab)
+	docLens = make([]int32, t.docs)
+	state := splitmix64(t.seed)
+	tf := make(map[int32]int32, xapianDocLen)
+	for d := 0; d < t.docs; d++ {
+		for k := range tf {
+			delete(tf, k)
+		}
+		for w := 0; w < xapianDocLen; w++ {
+			state = splitmix64(state)
+			tf[zipfTerm(state)]++
+		}
+		docLens[d] = xapianDocLen
+		for term, f := range tf {
+			index[term] = append(index[term], posting{doc: int32(d), tf: f})
+		}
+	}
+	return index, docLens
+}
+
+// zipfTerm maps a hash to a term ID with an approximately Zipfian(s≈1)
+// distribution via inverse-CDF on the harmonic series approximation.
+func zipfTerm(h uint64) int32 {
+	u := float64(h%1e9)/1e9 + 1e-12
+	// CDF(k) ≈ ln(k+1)/ln(V+1) for s=1.
+	k := math.Exp(u*math.Log(xapianVocab+1)) - 1
+	if k >= xapianVocab {
+		k = xapianVocab - 1
+	}
+	return int32(k)
+}
+
+type scoredDoc struct {
+	doc   int32
+	score float64
+}
+
+// scoreHeap is a min-heap on score so the root is the weakest of the
+// current top-k.
+type scoreHeap []scoredDoc
+
+func (h scoreHeap) Len() int            { return len(h) }
+func (h scoreHeap) Less(i, j int) bool  { return h[i].score < h[j].score }
+func (h scoreHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *scoreHeap) Push(x interface{}) { *h = append(*h, x.(scoredDoc)) }
+func (h *scoreHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	v := old[n-1]
+	*h = old[:n-1]
+	return v
+}
+
+func (t *xapianTask) search(index [][]posting, docLens []int32, idf []float64,
+	terms []int32, scores []float64, touched *[]int32) []int32 {
+	*touched = (*touched)[:0]
+	for _, term := range terms {
+		w := idf[term]
+		if w == 0 {
+			continue // term in every doc (or none): no discriminative power
+		}
+		for _, p := range index[term] {
+			if scores[p.doc] == 0 {
+				*touched = append(*touched, p.doc)
+			}
+			scores[p.doc] += w * (1 + math.Log(float64(p.tf))) / float64(docLens[p.doc])
+		}
+	}
+	h := make(scoreHeap, 0, t.topK)
+	heap.Init(&h)
+	for _, d := range *touched {
+		s := scores[d]
+		scores[d] = 0
+		switch {
+		case len(h) < t.topK:
+			heap.Push(&h, scoredDoc{doc: d, score: s})
+		case s > h[0].score:
+			h[0] = scoredDoc{doc: d, score: s}
+			heap.Fix(&h, 0)
+		}
+	}
+	// Extract in descending score order for a deterministic result.
+	out := make([]int32, len(h))
+	for i := len(h) - 1; i >= 0; i-- {
+		out[i] = heap.Pop(&h).(scoredDoc).doc
+	}
+	return out
+}

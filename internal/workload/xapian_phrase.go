@@ -1,0 +1,121 @@
+package workload
+
+import "fmt"
+
+// Phrase search for the Xapian workload: exact consecutive-term matching,
+// the positional-index feature real Xapian exposes as PHRASE queries. The
+// positional index stores each document's full term sequence (the corpus is
+// small); candidates come from intersecting the inverted lists, and
+// positions verify adjacency.
+
+// PositionalIndex pairs the inverted index with per-document term
+// sequences.
+type PositionalIndex struct {
+	index [][]posting
+	docs  [][]int32 // term sequence per document
+}
+
+// BuildPositionalIndex materializes the task's corpus with positions.
+// It is deterministic for the task's seed.
+func (t *xapianTask) BuildPositionalIndex() *PositionalIndex {
+	index := make([][]posting, xapianVocab)
+	docs := make([][]int32, t.docs)
+	state := splitmix64(t.seed)
+	tf := make(map[int32]int32, xapianDocLen)
+	for d := 0; d < t.docs; d++ {
+		seq := make([]int32, xapianDocLen)
+		for k := range tf {
+			delete(tf, k)
+		}
+		for w := 0; w < xapianDocLen; w++ {
+			state = splitmix64(state)
+			term := zipfTerm(state)
+			seq[w] = term
+			tf[term]++
+		}
+		docs[d] = seq
+		for term, f := range tf {
+			index[term] = append(index[term], posting{doc: int32(d), tf: f})
+		}
+	}
+	return &PositionalIndex{index: index, docs: docs}
+}
+
+// PhraseSearch returns the documents containing the terms consecutively in
+// order, ascending by document ID. Single-term phrases degenerate to plain
+// containment.
+func (p *PositionalIndex) PhraseSearch(phrase []int32) ([]int32, error) {
+	if len(phrase) == 0 {
+		return nil, fmt.Errorf("workload: empty phrase")
+	}
+	for _, term := range phrase {
+		if term < 0 || int(term) >= len(p.index) {
+			return nil, fmt.Errorf("workload: phrase term %d out of vocabulary", term)
+		}
+	}
+	// Intersect posting lists, driving from the rarest term.
+	rarest := phrase[0]
+	for _, term := range phrase[1:] {
+		if len(p.index[term]) < len(p.index[rarest]) {
+			rarest = term
+		}
+	}
+	var out []int32
+candidates:
+	for _, post := range p.index[rarest] {
+		doc := post.doc
+		// Cheap containment pre-check against every other term.
+		for _, term := range phrase {
+			if term == rarest {
+				continue
+			}
+			if !containsDoc(p.index[term], doc) {
+				continue candidates
+			}
+		}
+		if hasConsecutive(p.docs[doc], phrase) {
+			out = append(out, doc)
+		}
+	}
+	insertionSortInt32(out)
+	return out, nil
+}
+
+// containsDoc binary-searches a posting list (ascending by doc) for doc.
+func containsDoc(plist []posting, doc int32) bool {
+	lo, hi := 0, len(plist)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		switch {
+		case plist[mid].doc < doc:
+			lo = mid + 1
+		case plist[mid].doc > doc:
+			hi = mid
+		default:
+			return true
+		}
+	}
+	return false
+}
+
+// hasConsecutive reports whether seq contains phrase as a contiguous run.
+func hasConsecutive(seq, phrase []int32) bool {
+outer:
+	for i := 0; i+len(phrase) <= len(seq); i++ {
+		for j, term := range phrase {
+			if seq[i+j] != term {
+				continue outer
+			}
+		}
+		return true
+	}
+	return false
+}
+
+func insertionSortInt32(xs []int32) {
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
+			xs[j], xs[j-1] = xs[j-1], xs[j]
+		}
+	}
+}
