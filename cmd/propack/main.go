@@ -23,6 +23,7 @@ import (
 	"repro/internal/funcx"
 	"repro/internal/orchestrator"
 	"repro/internal/platform"
+	"repro/internal/resilience"
 	"repro/internal/trace"
 	"repro/internal/workload"
 )
@@ -111,6 +112,8 @@ func cmdAdvise(args []string) error {
 	c := fs.Int("c", 5000, "concurrency level (number of logical functions)")
 	ws := fs.Float64("ws", 0.5, "service-time weight W_S (expense weight is 1−W_S)")
 	qos := fs.Float64("qos", 0, "p95 service-time bound in seconds (0 = no QoS; overrides -ws)")
+	crashRate := fs.Float64("crashrate", 0, "plan for this mid-execution crash rate λ (reliability-aware planning)")
+	retryDelay := fs.Float64("retrydelay", 5, "modeled retry delay per crash in seconds (with -crashrate)")
 	registry := fs.String("registry", "", "model registry directory (cache fitted models across runs)")
 	ci := fs.Bool("ci", false, "bootstrap 95% confidence intervals for the fitted parameters")
 	seed := fs.Int64("seed", 1, "simulation seed")
@@ -124,6 +127,9 @@ func cmdAdvise(args []string) error {
 	cfg, err := platformByName(*plat)
 	if err != nil {
 		return err
+	}
+	if *qos > 0 && *crashRate > 0 {
+		return fmt.Errorf("-qos and -crashrate cannot be combined: QoS planning has no reliability-aware variant")
 	}
 	meas := &core.SimMeasurer{Config: cfg, Demand: w.Demand(), Seed: *seed}
 	var models core.Models
@@ -165,26 +171,47 @@ func cmdAdvise(args []string) error {
 
 	var plan core.Plan
 	var weights core.Weights
-	if *qos > 0 {
+	switch {
+	case *qos > 0:
 		plan, weights, err = models.QoSPlan(*c, *qos, core.QoSOptions{})
 		if err != nil {
 			return err
 		}
 		fmt.Printf("QoS weights   : W_S=%.2f W_E=%.2f (p95 bound %.1fs)\n",
 			weights.Service, weights.Expense, *qos)
-	} else {
+	case *crashRate > 0:
+		weights = core.Weights{Service: *ws, Expense: 1 - *ws}
+		rm := core.ReliableModels{Models: models,
+			Failure: core.FailureModel{CrashRate: *crashRate, RetryDelaySec: *retryDelay}}
+		plan, err = rm.PlanFor(*c, weights)
+		if err != nil {
+			return err
+		}
+		blind, err := models.PlanFor(*c, weights)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("failure model : λ=%g crashes/instance-sec, retry delay %.1fs (blind degree would be %d)\n",
+			*crashRate, *retryDelay, blind.Degree)
+	default:
 		weights = core.Weights{Service: *ws, Expense: 1 - *ws}
 		plan, err = models.PlanFor(*c, weights)
 		if err != nil {
 			return err
 		}
 	}
-	lo, hi, err := models.DegreeRange(*c, weights, 0.02)
-	if err != nil {
-		return err
+	if *crashRate > 0 {
+		// The 2%-band is defined on the failure-blind objective; under a
+		// failure model just report the chosen degree.
+		fmt.Printf("\nrecommended packing degree at C=%d: %d (reliability-aware)\n", *c, plan.Degree)
+	} else {
+		lo, hi, err := models.DegreeRange(*c, weights, 0.02)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("\nrecommended packing degree at C=%d: %d (degrees %d–%d stay within 2%% of optimal)\n",
+			*c, plan.Degree, lo, hi)
 	}
-	fmt.Printf("\nrecommended packing degree at C=%d: %d (degrees %d–%d stay within 2%% of optimal)\n",
-		*c, plan.Degree, lo, hi)
 	fmt.Printf("predicted service: %.1fs (baseline %.1fs)\n", plan.PredictedServiceSec, plan.BaselineServiceSec)
 	fmt.Printf("predicted expense: $%.2f (baseline $%.2f)\n", plan.PredictedExpenseUSD, plan.BaselineExpenseUSD)
 	fmt.Printf("modeling bill    : $%.4f\n", overhead.TotalUSD())
@@ -198,6 +225,52 @@ func printMetrics(m trace.Metrics) {
 		m.TotalService, m.TailService, m.MedianService)
 	fmt.Printf("  expense        : $%.2f\n", m.ExpenseUSD)
 	fmt.Printf("  function-hours : %.2f\n", m.FunctionHours)
+	if m.Retries+m.Crashes+m.Timeouts > 0 {
+		fmt.Printf("  faults survived: %d start retries, %d crashes, %d timeouts (%.0f failed sec, $%.4f wasted)\n",
+			m.Retries, m.Crashes, m.Timeouts, m.FailedSec, m.WastedUSD)
+	}
+	if m.HedgesLaunched > 0 {
+		fmt.Printf("  hedges         : %d launched, %d won, %d wasted\n",
+			m.HedgesLaunched, m.HedgesWon, m.HedgesWasted)
+	}
+}
+
+// faultFlags registers the fault-injection flag set shared by the execution
+// commands and returns a function that applies it to a platform config.
+func faultFlags(fs *flag.FlagSet) func(platform.Config) (platform.Config, error) {
+	crashRate := fs.Float64("crashrate", 0, "mid-execution crash rate λ (crashes per instance-second)")
+	startFail := fs.Float64("startfailprob", 0, "cold-start failure probability")
+	stragglerP := fs.Float64("stragglerprob", 0, "per-attempt straggler probability")
+	stragglerF := fs.Float64("stragglerfactor", 4, "straggler slowdown multiplier")
+	execTimeout := fs.Float64("exectimeout", 0, "execution timeout in seconds (0 = none)")
+	retryKind := fs.String("retry", "fixed", "retry backoff: fixed, exponential, decorrelated")
+	retryBase := fs.Float64("retrybase", 0, "retry backoff base delay in seconds (0 = platform default)")
+	retryCap := fs.Float64("retrycap", 60, "retry backoff delay cap in seconds")
+	retryAttempts := fs.Int("retryattempts", 0, "retry budget per instance (0 = platform default)")
+	hedgeQ := fs.Float64("hedge", 0, "hedge stragglers past this execution-duration percentile (0 = off)")
+	hedgeMin := fs.Float64("hedgemin", 0, "minimum execution seconds before hedging")
+	return func(cfg platform.Config) (platform.Config, error) {
+		cfg.CrashRate = *crashRate
+		cfg.StartFailureProb = *startFail
+		cfg.StragglerProb = *stragglerP
+		if *stragglerP > 0 {
+			cfg.StragglerFactor = *stragglerF
+		}
+		cfg.ExecTimeoutSec = *execTimeout
+		if *retryBase > 0 || *retryAttempts > 0 {
+			kind, err := resilience.KindByName(*retryKind)
+			if err != nil {
+				return cfg, err
+			}
+			cfg.Retry = resilience.Backoff{
+				Kind: kind, BaseSec: *retryBase, CapSec: *retryCap, MaxAttempts: *retryAttempts,
+			}
+		}
+		if *hedgeQ > 0 {
+			cfg.Hedge = resilience.Hedge{Quantile: *hedgeQ, MinDelaySec: *hedgeMin}
+		}
+		return cfg, cfg.Validate()
+	}
 }
 
 func cmdRun(args []string) error {
@@ -208,6 +281,7 @@ func cmdRun(args []string) error {
 	degree := fs.Int("degree", 1, "packing degree (1 = traditional)")
 	timeline := fs.String("timeline", "", "write per-instance timelines as CSV to this file")
 	seed := fs.Int64("seed", 1, "simulation seed")
+	applyFaults := faultFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -216,6 +290,10 @@ func cmdRun(args []string) error {
 		return err
 	}
 	cfg, err := platformByName(*plat)
+	if err != nil {
+		return err
+	}
+	cfg, err = applyFaults(cfg)
 	if err != nil {
 		return err
 	}

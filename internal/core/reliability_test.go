@@ -1,0 +1,129 @@
+package core
+
+import (
+	"math"
+	"testing"
+)
+
+func reliabilityFixtureModels() Models {
+	return Models{
+		ET:                 ETModel{MfuncGB: 0.25, Alpha: 0.35, Intercept: 4.0},
+		Scaling:            ScalingModel{B1: 2e-5, B2: 0.01, B3: 0},
+		RatePerInstanceSec: 1.6667e-4,
+		MaxDegree:          30,
+	}
+}
+
+func TestFailureModelZeroIsIdentity(t *testing.T) {
+	var f FailureModel
+	for _, T := range []float64{0.5, 10, 300} {
+		if f.ExpectedAttempts(T) != 1 {
+			t.Fatal("zero model should expect exactly 1 attempt")
+		}
+		if f.ExpectedBilledSec(T) != T || f.ExpectedLatencySec(T) != T {
+			t.Fatal("zero model must return T exactly")
+		}
+	}
+}
+
+func TestFailureModelExpectations(t *testing.T) {
+	f := FailureModel{CrashRate: 0.01, RetryDelaySec: 5}
+	T := 100.0 // λT = 1
+	if got, want := f.ExpectedAttempts(T), math.E; math.Abs(got-want) > 1e-12 {
+		t.Fatalf("attempts = %g, want e", got)
+	}
+	if got, want := f.ExpectedBilledSec(T), (math.E-1)/0.01; math.Abs(got-want) > 1e-9 {
+		t.Fatalf("billed = %g, want %g", got, want)
+	}
+	// Latency = billed + failures·delay.
+	wantLat := (math.E-1)/0.01 + (math.E-1)*5
+	if got := f.ExpectedLatencySec(T); math.Abs(got-wantLat) > 1e-9 {
+		t.Fatalf("latency = %g, want %g", got, wantLat)
+	}
+	// Billed time is continuous at λ→0.
+	tiny := FailureModel{CrashRate: 1e-12}
+	if got := tiny.ExpectedBilledSec(50); math.Abs(got-50) > 1e-3 {
+		t.Fatalf("billed not continuous at λ→0: %g", got)
+	}
+}
+
+func TestFailureModelMonotoneInRateAndDuration(t *testing.T) {
+	base := FailureModel{CrashRate: 0.005, RetryDelaySec: 2}
+	if !(base.ExpectedBilledSec(200) > base.ExpectedBilledSec(100)) {
+		t.Fatal("billed time must grow with duration")
+	}
+	hot := FailureModel{CrashRate: 0.02, RetryDelaySec: 2}
+	if !(hot.ExpectedBilledSec(100) > base.ExpectedBilledSec(100)) {
+		t.Fatal("billed time must grow with crash rate")
+	}
+	// Superlinearity: the degree-P penalty — doubling T more than doubles
+	// the billed time, which is what pushes the optimizer to lower degrees.
+	if !(base.ExpectedBilledSec(200) > 2*base.ExpectedBilledSec(100)) {
+		t.Fatal("billed time must be superlinear in duration")
+	}
+}
+
+func TestReliableModelsZeroFailureAgreesExactly(t *testing.T) {
+	m := reliabilityFixtureModels()
+	rm := ReliableModels{Models: m}
+	const c = 2000
+	for _, w := range []Weights{Balanced(), ServiceOnly(), ExpenseOnly()} {
+		blind, err := m.PlanFor(c, w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rel, err := rm.PlanFor(c, w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if blind != rel {
+			t.Fatalf("zero-failure reliable plan diverged:\nblind %+v\nrel   %+v", blind, rel)
+		}
+		for p := 1; p <= m.MaxDegree; p++ {
+			if m.ServiceTime(c, p) != rm.ServiceTime(c, p) || m.Expense(c, p) != rm.Expense(c, p) {
+				t.Fatalf("zero-failure predictions diverged at degree %d", p)
+			}
+		}
+	}
+}
+
+func TestReliablePlanningShiftsToLowerDegrees(t *testing.T) {
+	m := reliabilityFixtureModels()
+	const c = 2000
+	blind, err := m.OptimalDegree(c, Balanced())
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := blind
+	for _, rate := range []float64{0.002, 0.01, 0.05} {
+		rm := ReliableModels{Models: m, Failure: FailureModel{CrashRate: rate, RetryDelaySec: 5}}
+		deg, err := rm.OptimalDegree(c, Balanced())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if deg > prev {
+			t.Fatalf("degree rose with crash rate: %d → %d at λ=%g", prev, deg, rate)
+		}
+		prev = deg
+	}
+	rm := ReliableModels{Models: m, Failure: FailureModel{CrashRate: 0.05, RetryDelaySec: 5}}
+	deg, err := rm.OptimalDegree(c, Balanced())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if deg >= blind {
+		t.Fatalf("high crash rate should force a strictly lower degree: blind %d, reliable %d", blind, deg)
+	}
+}
+
+func TestFailureModelValidate(t *testing.T) {
+	if (FailureModel{CrashRate: -1}).Validate() == nil {
+		t.Fatal("negative crash rate accepted")
+	}
+	if (FailureModel{RetryDelaySec: -1}).Validate() == nil {
+		t.Fatal("negative retry delay accepted")
+	}
+	if (FailureModel{CrashRate: 0.1, RetryDelaySec: 3}).Validate() != nil {
+		t.Fatal("good model rejected")
+	}
+}

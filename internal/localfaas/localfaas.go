@@ -13,16 +13,27 @@
 //   - the runtime reports the same Metrics as the simulator, computed from
 //     real wall-clock timestamps.
 //
+// The runtime is fault-tolerant: a panicking kernel fails only its own
+// instance, failed instances are retried under a resilience.Backoff policy,
+// the whole job honours a context deadline, and a partial-results mode
+// returns metrics over the instances that completed plus a structured
+// multi-error instead of all-or-nothing.
+//
 // This is how the examples demonstrate ProPack end-to-end without any
 // cloud: profile real kernels, fit Eq. 1 with livemeasure, plan, then
 // execute the plan here and watch the real makespan drop.
 package localfaas
 
 import (
+	"context"
 	"fmt"
+	"strings"
 	"sync"
 	"time"
 
+	"repro/internal/resilience"
+	"repro/internal/sim"
+	"repro/internal/stats"
 	"repro/internal/trace"
 	"repro/internal/workload"
 )
@@ -66,6 +77,15 @@ type Job struct {
 	// RatePerInstanceSec converts real instance-seconds to dollars for the
 	// expense metric (0 is fine: expense reports 0).
 	RatePerInstanceSec float64
+
+	// Retry re-runs an instance whose kernel returned an error or panicked.
+	// The policy's MaxAttempts is the retry budget; the zero value disables
+	// retries (one attempt per instance).
+	Retry resilience.Backoff
+	// PartialResults makes the job return a Result covering the instances
+	// that completed, plus a *JobError listing the ones that did not,
+	// instead of failing the whole job on the first instance error.
+	PartialResults bool
 }
 
 // Validate reports an error for malformed jobs.
@@ -84,7 +104,7 @@ func (j Job) Validate() error {
 	case j.RatePerInstanceSec < 0:
 		return fmt.Errorf("localfaas: negative rate")
 	}
-	return nil
+	return j.Retry.Validate()
 }
 
 // InstanceRecord is one instance's real execution record.
@@ -93,18 +113,64 @@ type InstanceRecord struct {
 	Degree    int
 	Start     time.Duration // since job begin, after the control-plane delay
 	End       time.Duration
+	Retries   int // attempts beyond the first
 	Checksums []uint64
+}
+
+// completed reports whether the instance finished successfully.
+func (r InstanceRecord) completed() bool { return r.End > r.Start }
+
+// InstanceError is one instance's terminal failure.
+type InstanceError struct {
+	Index    int
+	Attempts int
+	Err      error
+}
+
+func (e InstanceError) Error() string {
+	return fmt.Sprintf("instance %d failed after %d attempt(s): %v", e.Index, e.Attempts, e.Err)
+}
+
+// Unwrap exposes the underlying cause to errors.Is/As.
+func (e InstanceError) Unwrap() error { return e.Err }
+
+// JobError aggregates the per-instance failures of a run. Completed reports
+// how many instances still finished, so callers can judge the damage.
+type JobError struct {
+	Failures  []InstanceError
+	Completed int
+}
+
+func (e *JobError) Error() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "localfaas: %d instance(s) failed (%d completed)", len(e.Failures), e.Completed)
+	for _, f := range e.Failures {
+		b.WriteString("; ")
+		b.WriteString(f.Error())
+	}
+	return b.String()
 }
 
 // Result is a completed job.
 type Result struct {
 	Job       Job
 	Instances []InstanceRecord
-	Metrics   trace.Metrics
+	// Failed lists instances that never completed (PartialResults mode).
+	Failed  []InstanceError
+	Metrics trace.Metrics
 }
 
 // Run executes the job and blocks until every instance finishes.
 func Run(job Job) (*Result, error) {
+	return RunContext(context.Background(), job)
+}
+
+// RunContext is Run under a context: cancelling (or exceeding the deadline
+// of) ctx aborts the job promptly — instances that have not started are
+// skipped, sleeping instances wake and abort, and RunContext returns without
+// waiting for kernels already executing (they finish in the background and
+// their results are discarded).
+func RunContext(ctx context.Context, job Job) (*Result, error) {
 	if err := job.Validate(); err != nil {
 		return nil, err
 	}
@@ -134,38 +200,120 @@ func Run(job Job) (*Result, error) {
 		go func(i, deg int) {
 			defer wg.Done()
 			// Control-plane delay happens "in the cloud": it does not hold
-			// a host slot.
-			d := delay(i)
-			if d > 0 {
-				time.Sleep(d)
+			// a host slot. It is interruptible by ctx.
+			if d := delay(i); d > 0 {
+				if !sleepCtx(ctx, d) {
+					errs[i] = ctx.Err()
+					return
+				}
 			}
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			start := time.Since(begin)
-			res, err := workload.RunPacked(job.Workload, deg, job.CoresPerInstance,
-				job.Seed+int64(i)*1000003)
-			if err != nil {
-				errs[i] = err
+			select {
+			case sem <- struct{}{}:
+			case <-ctx.Done():
+				errs[i] = ctx.Err()
 				return
 			}
-			records[i] = InstanceRecord{
-				Index:     i,
-				Degree:    deg,
-				Start:     start,
-				End:       start + res.Wall,
-				Checksums: res.Checksums,
-			}
+			defer func() { <-sem }()
+			records[i], errs[i] = runInstance(ctx, job, i, deg, begin)
 		}(i, deg)
 	}
-	wg.Wait()
+
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-ctx.Done():
+		return nil, fmt.Errorf("localfaas: job aborted: %w", ctx.Err())
+	}
+
+	jerr := &JobError{}
 	for i, err := range errs {
 		if err != nil {
-			return nil, fmt.Errorf("localfaas: instance %d: %w", i, err)
+			jerr.Failures = append(jerr.Failures, InstanceError{
+				Index: i, Attempts: records[i].Retries + 1, Err: err,
+			})
+		} else {
+			jerr.Completed++
 		}
 	}
-	out := &Result{Job: job, Instances: records}
-	out.Metrics = metricsFrom(job, records)
+	if len(jerr.Failures) > 0 && !job.PartialResults {
+		return nil, jerr
+	}
+	out := &Result{Job: job, Failed: jerr.Failures}
+	for _, r := range records {
+		if r.completed() {
+			out.Instances = append(out.Instances, r)
+		}
+	}
+	if len(out.Instances) == 0 {
+		return nil, jerr
+	}
+	out.Metrics = metricsFrom(job, out.Instances)
+	if len(jerr.Failures) > 0 {
+		return out, jerr
+	}
 	return out, nil
+}
+
+// runInstance executes one packed instance with per-attempt panic recovery
+// and the job's retry policy. The returned record's Start/End cover the
+// successful attempt.
+func runInstance(ctx context.Context, job Job, i, deg int, begin time.Time) (InstanceRecord, error) {
+	rng := sim.Stream(job.Seed, 0x6c6f63616c^uint64(i)) // per-instance backoff stream
+	rec := InstanceRecord{Index: i, Degree: deg}
+	prevDelay := 0.0
+	for attempt := 0; ; attempt++ {
+		if err := ctx.Err(); err != nil {
+			return rec, err
+		}
+		start := time.Since(begin)
+		res, err := runPackedRecovering(job.Workload, deg, job.CoresPerInstance,
+			job.Seed+int64(i)*1000003)
+		if err == nil {
+			rec.Start = start
+			rec.End = start + res.Wall
+			rec.Checksums = res.Checksums
+			return rec, nil
+		}
+		retry := attempt + 1
+		if !job.Retry.Allow(retry, time.Since(begin).Seconds(), 0) {
+			return rec, err
+		}
+		rec.Retries++
+		prevDelay = job.Retry.Delay(retry, prevDelay, rng.Float64)
+		if !sleepCtx(ctx, time.Duration(prevDelay*float64(time.Second))) {
+			return rec, ctx.Err()
+		}
+	}
+}
+
+// runPackedRecovering shields the runtime from a panicking kernel: the panic
+// becomes this instance's error instead of crashing the process. (The packed
+// executor already recovers panics inside its per-function goroutines; this
+// guards the setup path as well.)
+func runPackedRecovering(w workload.Workload, deg, cores int, seed int64) (res workload.PackedResult, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("localfaas: instance panicked: %v", r)
+		}
+	}()
+	return workload.RunPacked(w, deg, cores, seed)
+}
+
+// sleepCtx sleeps for d or until ctx is done; it reports whether the full
+// sleep elapsed.
+func sleepCtx(ctx context.Context, d time.Duration) bool {
+	if d <= 0 {
+		return ctx.Err() == nil
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-ctx.Done():
+		return false
+	}
 }
 
 func metricsFrom(job Job, records []InstanceRecord) trace.Metrics {
@@ -173,6 +321,7 @@ func metricsFrom(job Job, records []InstanceRecord) trace.Metrics {
 	var maxStart, maxEnd time.Duration
 	ends := make([]float64, len(records))
 	var funcSec float64
+	retries := 0
 	for i, r := range records {
 		if r.Start < firstStart {
 			firstStart = r.Start
@@ -185,18 +334,10 @@ func metricsFrom(job Job, records []InstanceRecord) trace.Metrics {
 		}
 		ends[i] = r.End.Seconds()
 		funcSec += (r.End - r.Start).Seconds()
+		retries += r.Retries
 	}
 	q := func(p float64) float64 {
-		sorted := append([]float64(nil), ends...)
-		insertionSort(sorted)
-		idx := int(float64(len(sorted))*p/100+0.999999) - 1
-		if idx < 0 {
-			idx = 0
-		}
-		if idx >= len(sorted) {
-			idx = len(sorted) - 1
-		}
-		return sorted[idx] - firstStart.Seconds()
+		return stats.Quantile(ends, p) - firstStart.Seconds()
 	}
 	return trace.Metrics{
 		Platform:      "localfaas",
@@ -209,13 +350,6 @@ func metricsFrom(job Job, records []InstanceRecord) trace.Metrics {
 		ExpenseUSD:    funcSec * job.RatePerInstanceSec,
 		FunctionHours: funcSec / 3600,
 		MeanExecSec:   funcSec / float64(len(records)),
-	}
-}
-
-func insertionSort(xs []float64) {
-	for i := 1; i < len(xs); i++ {
-		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
-			xs[j], xs[j-1] = xs[j-1], xs[j]
-		}
+		Retries:       retries,
 	}
 }

@@ -109,3 +109,30 @@ func TestWarmReuseStacksWithPacking(t *testing.T) {
 		t.Fatal("negative pool accepted")
 	}
 }
+
+// TestExecuteWarmClampEquivalence pins the clamp semantics: a pool larger
+// than the instance count behaves exactly like a pool of all instances, for
+// every degree shape (including a ragged last instance).
+func TestExecuteWarmClampEquivalence(t *testing.T) {
+	cfg := platform.AWSLambda()
+	d := workload.Video{}.Demand()
+	for _, tc := range []struct{ c, deg int }{{100, 1}, {100, 7}, {64, 8}} {
+		n := (tc.c + tc.deg - 1) / tc.deg
+		exact, err := ExecuteWarm(cfg, d, tc.c, tc.deg, n, 9)
+		if err != nil {
+			t.Fatal(err)
+		}
+		over, err := ExecuteWarm(cfg, d, tc.c, tc.deg, n*10+1, 9)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if exact != over {
+			t.Fatalf("c=%d deg=%d: oversized pool diverged from full pool:\nexact %+v\nover  %+v",
+				tc.c, tc.deg, exact, over)
+		}
+		// An all-warm burst has no cold path left: warm-start-only scaling.
+		if exact.ScalingTime <= 0 {
+			t.Fatalf("degenerate scaling time %g", exact.ScalingTime)
+		}
+	}
+}

@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/interfere"
 	"repro/internal/sim"
+	"repro/internal/stats"
 	"repro/internal/storage"
 )
 
@@ -18,6 +19,10 @@ var ErrExecLimit = errors.New("platform: execution exceeds platform limit")
 // ErrStartFailed is returned when an instance exhausts its start retries
 // under failure injection.
 var ErrStartFailed = errors.New("platform: instance failed to start after retries")
+
+// ErrExecFailed is returned when an instance exhausts its execution retries
+// (mid-execution crashes or timeouts) under failure injection.
+var ErrExecFailed = errors.New("platform: instance failed to execute after retries")
 
 // Burst describes one concurrent invocation wave: C logical functions
 // packed at degree P, yielding ceil(C/P) function instances spawned
@@ -76,12 +81,41 @@ type Timeline struct {
 	SchedDone float64
 	BuildDone float64 // == SchedDone for warm instances
 	ShipDone  float64 // == SchedDone for warm instances
-	Start     float64 // execution begins
+	Start     float64 // execution begins (of the final, successful attempt)
 	End       float64 // execution ends
+
+	// Fault-injection outcomes. Failed attempts are billed — FailedSec is
+	// the execution time they consumed before crashing or timing out.
+	Crashes   int     // mid-execution crashes survived via retry
+	Timeouts  int     // execution-timeout kills survived via retry
+	Straggled int     // attempts hit by straggler slowdown
+	FailedSec float64 // billed execution seconds of failed attempts
+
+	// Hedging outcomes. HedgeExtraSec is the billed execution time of the
+	// speculative duplicate (the loser is killed when the winner finishes).
+	Hedged        bool
+	HedgeWon      bool // the duplicate finished first
+	HedgeExtraSec float64
 }
 
-// ExecSeconds is the instance's billed execution duration.
+// ExecSeconds is the billed execution duration of the instance's winning
+// copy (failed attempts and hedge duplicates are accounted separately in
+// FailedSec and HedgeExtraSec).
 func (t Timeline) ExecSeconds() float64 { return t.End - t.Start }
+
+// wastedSec is the billed time that produced no results: failed attempts
+// plus the losing copy of a hedged execution.
+func (t Timeline) wastedSec() float64 {
+	w := t.FailedSec
+	if t.Hedged {
+		if t.HedgeWon {
+			w += t.ExecSeconds() // the primary ran until the duplicate won
+		} else {
+			w += t.HedgeExtraSec // the duplicate ran until the primary won
+		}
+	}
+	return w
+}
 
 // Result is the outcome of simulating one burst.
 type Result struct {
@@ -96,6 +130,17 @@ type Result struct {
 	ComputeUSD float64
 	RequestUSD float64
 	StorageUSD float64
+	// WastedUSD is the share of ComputeUSD spent on failed attempts and
+	// losing hedge copies — already included in ComputeUSD, broken out so
+	// failure injection's cost is auditable.
+	WastedUSD float64
+
+	// Fault-tolerance aggregates across all instances.
+	StartRetries   int // cold-start re-submissions
+	Crashes        int // mid-execution crashes retried
+	Timeouts       int // execution-timeout kills retried
+	HedgesLaunched int // speculative duplicates started
+	HedgesWon      int // duplicates that finished first
 
 	// Per-stage aggregate busy time, normalized per server: how long each
 	// control-plane resource actually worked for this burst. The stages
@@ -194,6 +239,17 @@ func runControlPlane(cfg Config, b Burst, timelines []Timeline, execs []float64,
 	if maxRetries == 0 {
 		maxRetries = 3
 	}
+	retryPol := cfg.retryPolicy()
+	// prevDelay feeds the decorrelated-jitter schedule; per instance so
+	// parallel retry chains stay independent.
+	prevDelay := make([]float64, n)
+	// The hedge launch threshold is the configured quantile of the fleet's
+	// planned execution durations — known up front in the simulator, so the
+	// policy is deterministic.
+	hedgeThr := math.Inf(1)
+	if cfg.Hedge.Enabled() && n > 0 {
+		hedgeThr = cfg.Hedge.Threshold(execs)
+	}
 	var burstErr error
 	var submitSched func(i int)
 
@@ -220,9 +276,78 @@ func runControlPlane(cfg Config, b Burst, timelines []Timeline, execs []float64,
 		submitSched(i)
 	}
 
+	// backoffThenResubmit re-enters the scheduler after the retry policy's
+	// delay for the given retry number (the admission slot stays held).
+	backoffThenResubmit := func(i, retry int) {
+		d := retryPol.Delay(retry, prevDelay[i], rng.Float64)
+		prevDelay[i] = d
+		eng.After(d, func() { submitSched(i) })
+	}
+	// failExec handles a crashed or timed-out attempt: retry within the
+	// policy's budget or fail the burst.
+	failExec := func(i int) {
+		retry := timelines[i].Crashes + timelines[i].Timeouts
+		if !retryPol.Allow(retry, eng.Now(), maxRetries) {
+			if burstErr == nil {
+				burstErr = fmt.Errorf("%w: instance %d after %d failed attempts",
+					ErrExecFailed, i, retry)
+			}
+			release()
+			return
+		}
+		backoffThenResubmit(i, retry)
+	}
 	finish := func(i int) {
 		timelines[i].Start = eng.Now()
-		eng.After(execs[i], func() {
+		dur := execs[i]
+		if cfg.StragglerProb > 0 && rng.Float64() < cfg.StragglerProb {
+			dur *= cfg.StragglerFactor
+			timelines[i].Straggled++
+		}
+		// Sample this attempt's crash time; the attempt fails at whichever
+		// of crash and timeout strikes first, billing the partial work.
+		crashAt := math.Inf(1)
+		if cfg.CrashRate > 0 {
+			crashAt = rng.ExpFloat64() / cfg.CrashRate
+		}
+		timeoutAt := math.Inf(1)
+		if cfg.ExecTimeoutSec > 0 {
+			timeoutAt = cfg.ExecTimeoutSec
+		}
+		if crashAt < dur && crashAt <= timeoutAt {
+			eng.After(crashAt, func() {
+				timelines[i].Crashes++
+				timelines[i].FailedSec += crashAt
+				failExec(i)
+			})
+			return
+		}
+		if timeoutAt < dur {
+			eng.After(timeoutAt, func() {
+				timelines[i].Timeouts++
+				timelines[i].FailedSec += timeoutAt
+				failExec(i)
+			})
+			return
+		}
+		// The attempt will complete. If it is a straggler (past the fleet's
+		// hedge threshold), launch one speculative duplicate with a fresh
+		// execution draw; the first finisher wins and the loser is killed
+		// (and billed) at that moment. Duplicates model a relaunch on a
+		// healthy host: no straggler or crash injection applies to them.
+		end := dur
+		if dur > hedgeThr {
+			hedgeDur := execs[i] * rng.Jitter(cfg.JitterRel)
+			timelines[i].Hedged = true
+			if hedgeThr+hedgeDur < dur {
+				timelines[i].HedgeWon = true
+				timelines[i].HedgeExtraSec = hedgeDur
+				end = hedgeThr + hedgeDur
+			} else {
+				timelines[i].HedgeExtraSec = dur - hedgeThr
+			}
+		}
+		eng.After(end, func() {
 			timelines[i].End = eng.Now()
 			release()
 		})
@@ -233,15 +358,15 @@ func runControlPlane(cfg Config, b Burst, timelines []Timeline, execs []float64,
 				// Cold start failed: back off and re-enter the scheduler
 				// (the admission slot stays held through retries).
 				timelines[i].Retries++
-				if timelines[i].Retries > maxRetries {
+				if !retryPol.Allow(timelines[i].Retries, eng.Now(), maxRetries) {
 					if burstErr == nil {
 						burstErr = fmt.Errorf("%w: instance %d after %d attempts",
-							ErrStartFailed, i, maxRetries+1)
+							ErrStartFailed, i, timelines[i].Retries)
 					}
 					release()
 					return
 				}
-				eng.After(cfg.RetryDelaySec, func() { submitSched(i) })
+				backoffThenResubmit(i, timelines[i].Retries)
 				return
 			}
 			finish(i)
@@ -322,14 +447,26 @@ func runControlPlane(cfg Config, b Burst, timelines []Timeline, execs []float64,
 		return nil, burstErr
 	}
 
-	return &Result{
+	res := &Result{
 		Config:       cfg,
 		Burst:        b,
 		Timelines:    timelines,
 		SchedBusySec: sched.BusySeconds / float64(cfg.SchedServers),
 		BuildBusySec: buildSt.BusySeconds / float64(cfg.BuildServers),
 		ShipBusySec:  shipSt.BusySeconds / float64(cfg.ShipServers),
-	}, nil
+	}
+	for _, t := range timelines {
+		res.StartRetries += t.Retries
+		res.Crashes += t.Crashes
+		res.Timeouts += t.Timeouts
+		if t.Hedged {
+			res.HedgesLaunched++
+		}
+		if t.HedgeWon {
+			res.HedgesWon++
+		}
+	}
+	return res, nil
 }
 
 // allWarmBefore reports whether every instance in [lo, i) is warm, which
@@ -355,8 +492,18 @@ func (r *Result) bill(groupsOf func(i int) []demandGroup) {
 	}
 	memGB := cfg.MemoryGB()
 	for _, t := range r.Timelines {
-		r.ComputeUSD += t.ExecSeconds() * memGB * cfg.GBSecondUSD
-		r.RequestUSD += cfg.PerRequestUSD
+		// Failed attempts and hedge duplicates bill their partial GB·seconds
+		// — failure visibly raises expense — and every re-invocation or
+		// speculative launch pays the per-request fee. Storage traffic is
+		// metered once per instance (only the winning attempt's results
+		// land in the store).
+		r.ComputeUSD += (t.ExecSeconds() + t.FailedSec + t.HedgeExtraSec) * memGB * cfg.GBSecondUSD
+		r.WastedUSD += t.wastedSec() * memGB * cfg.GBSecondUSD
+		launches := 1 + t.Retries + t.Crashes + t.Timeouts
+		if t.Hedged {
+			launches++
+		}
+		r.RequestUSD += cfg.PerRequestUSD * float64(launches)
 		for _, g := range groupsOf(t.Index) {
 			billGroup(meter, g.d, g.n)
 		}
@@ -447,15 +594,7 @@ func (r *Result) ServiceTimeAtQuantile(q float64) float64 {
 	for i, t := range r.Timelines {
 		ends[i] = t.End
 	}
-	sortFloats(ends)
-	idx := int(math.Ceil(q/100*float64(len(ends)))) - 1
-	if idx < 0 {
-		idx = 0
-	}
-	if idx >= len(ends) {
-		idx = len(ends) - 1
-	}
-	return ends[idx] - r.firstStart()
+	return stats.Quantile(ends, q) - r.firstStart()
 }
 
 // FunctionSeconds is the summed execution time across all instances — the
@@ -513,36 +652,3 @@ func (r *Result) StageBreakdown() (sched, build, ship, boot float64) {
 		last.Start - last.ShipDone
 }
 
-func sortFloats(xs []float64) {
-	// Insertion sort is adequate for small n, but bursts have thousands of
-	// instances; use a simple heapsort to stay allocation-free.
-	heapify(xs)
-	for end := len(xs) - 1; end > 0; end-- {
-		xs[0], xs[end] = xs[end], xs[0]
-		siftDown(xs[:end], 0)
-	}
-}
-
-func heapify(xs []float64) {
-	for i := len(xs)/2 - 1; i >= 0; i-- {
-		siftDown(xs, i)
-	}
-}
-
-func siftDown(xs []float64, i int) {
-	for {
-		l, rr := 2*i+1, 2*i+2
-		largest := i
-		if l < len(xs) && xs[l] > xs[largest] {
-			largest = l
-		}
-		if rr < len(xs) && xs[rr] > xs[largest] {
-			largest = rr
-		}
-		if largest == i {
-			return
-		}
-		xs[i], xs[largest] = xs[largest], xs[i]
-		i = largest
-	}
-}

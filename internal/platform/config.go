@@ -22,6 +22,7 @@ import (
 	"fmt"
 
 	"repro/internal/interfere"
+	"repro/internal/resilience"
 	"repro/internal/storage"
 )
 
@@ -99,6 +100,34 @@ type Config struct {
 	// MaxStartRetries bounds re-submissions per instance; an instance that
 	// exhausts them fails the whole burst. 0 means the default (3).
 	MaxStartRetries int
+
+	// CrashRate injects mid-execution instance crashes, in crashes per
+	// instance-second: an attempt that runs for t seconds survives with
+	// probability exp(−CrashRate·t). A crash loses the work of every
+	// function packed in the instance; the partial attempt is billed
+	// (compute + request fee) and the instance re-enters the scheduler via
+	// Retry. 0 disables crashes.
+	CrashRate float64
+	// StragglerProb is the per-attempt probability that execution runs
+	// StragglerFactor× slower (degraded host, noisy neighbour).
+	StragglerProb float64
+	// StragglerFactor is the slowdown multiplier of straggling attempts;
+	// must be ≥ 1 when StragglerProb > 0.
+	StragglerFactor float64
+	// ExecTimeoutSec kills attempts that execute longer than this; the
+	// timed-out attempt is billed and retried like a crash. 0 disables the
+	// timeout (MaxExecSec still rejects over-long bursts up front).
+	ExecTimeoutSec float64
+	// Retry is the backoff policy for crashed and timed-out attempts and,
+	// when set, for failed cold starts too. The zero value preserves the
+	// legacy behaviour: fixed RetryDelaySec with the MaxStartRetries
+	// budget.
+	Retry resilience.Backoff
+	// Hedge launches one speculative duplicate for attempts still running
+	// past the fleet's Hedge.Quantile-th percentile execution duration;
+	// the first finisher wins and the loser's compute is billed as waste.
+	// The zero value disables hedging.
+	Hedge resilience.Hedge
 }
 
 // Validate reports an error for configurations the simulator cannot run.
@@ -132,8 +161,31 @@ func (c Config) Validate() error {
 		return fmt.Errorf("platform %s: start-failure probability %g outside [0,1)", c.Name, c.StartFailureProb)
 	case c.RetryDelaySec < 0 || c.MaxStartRetries < 0:
 		return fmt.Errorf("platform %s: negative retry parameters", c.Name)
+	case c.CrashRate < 0:
+		return fmt.Errorf("platform %s: negative crash rate %g", c.Name, c.CrashRate)
+	case c.StragglerProb < 0 || c.StragglerProb >= 1:
+		return fmt.Errorf("platform %s: straggler probability %g outside [0,1)", c.Name, c.StragglerProb)
+	case c.StragglerProb > 0 && c.StragglerFactor < 1:
+		return fmt.Errorf("platform %s: straggler factor %g < 1", c.Name, c.StragglerFactor)
+	case c.ExecTimeoutSec < 0:
+		return fmt.Errorf("platform %s: negative execution timeout %g", c.Name, c.ExecTimeoutSec)
+	}
+	if err := c.Retry.Validate(); err != nil {
+		return fmt.Errorf("platform %s: %w", c.Name, err)
+	}
+	if err := c.Hedge.Validate(); err != nil {
+		return fmt.Errorf("platform %s: %w", c.Name, err)
 	}
 	return nil
+}
+
+// retryPolicy is the effective backoff policy for retried attempts: the
+// configured one, or the legacy fixed-delay policy when unset.
+func (c Config) retryPolicy() resilience.Backoff {
+	if c.Retry.IsZero() {
+		return resilience.Backoff{Kind: resilience.Fixed, BaseSec: c.RetryDelaySec}
+	}
+	return c.Retry
 }
 
 // MemoryGB is the billed memory size of one instance.

@@ -93,3 +93,70 @@ func TestThrottleValidation(t *testing.T) {
 		t.Fatal("negative limit accepted")
 	}
 }
+
+// TestStaggerInteractsWithThrottle: staggered admission must still respect
+// the account concurrency limit, and the two mechanisms compose — the last
+// start is bounded below by the stagger schedule and stretched further by
+// throttle waves.
+func TestStaggerInteractsWithThrottle(t *testing.T) {
+	d := workload.StatelessCost{}.Demand()
+	const n, stagger = 300, 0.2
+	b := Burst{Demand: d, Functions: n, Degree: 1, StaggerSec: stagger, Seed: 43}
+
+	// Unthrottled staggered burst: instance k cannot start before its
+	// arrival at k·stagger.
+	free, err := Run(AWSLambda(), b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tl := range free.Timelines {
+		if tl.Start < float64(tl.Index)*stagger {
+			t.Fatalf("instance %d started %.2fs before its staggered arrival", tl.Index, float64(tl.Index)*stagger-tl.Start)
+		}
+	}
+	if free.ScalingTime() < float64(n-1)*stagger {
+		t.Fatalf("stagger floor violated: scaling %g < %g", free.ScalingTime(), float64(n-1)*stagger)
+	}
+
+	// Throttled + staggered: concurrency stays under the cap and service
+	// stretches beyond the unthrottled staggered run.
+	cfg := AWSLambda()
+	cfg.ConcurrencyLimit = 50
+	caped, err := Run(cfg, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	type event struct {
+		at    float64
+		delta int
+	}
+	var evs []event
+	for _, tl := range caped.Timelines {
+		evs = append(evs, event{tl.Start, 1}, event{tl.End, -1})
+	}
+	for i := 1; i < len(evs); i++ {
+		for j := i; j > 0 && (evs[j].at < evs[j-1].at ||
+			(evs[j].at == evs[j-1].at && evs[j].delta < evs[j-1].delta)); j-- {
+			evs[j], evs[j-1] = evs[j-1], evs[j]
+		}
+	}
+	cur, peak := 0, 0
+	for _, e := range evs {
+		cur += e.delta
+		if cur > peak {
+			peak = cur
+		}
+	}
+	if peak > 50 {
+		t.Fatalf("throttle violated under stagger: peak %d", peak)
+	}
+	for _, tl := range caped.Timelines {
+		if tl.End <= tl.Start {
+			t.Fatalf("instance %d never ran", tl.Index)
+		}
+	}
+	if caped.TotalServiceTime() <= free.TotalServiceTime() {
+		t.Fatalf("throttle should stretch the staggered burst: %g vs %g",
+			caped.TotalServiceTime(), free.TotalServiceTime())
+	}
+}

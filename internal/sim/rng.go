@@ -37,6 +37,11 @@ func (g *RNG) Int63() int64 { return g.r.Int63() }
 // NormFloat64 returns a standard normal sample.
 func (g *RNG) NormFloat64() float64 { return g.r.NormFloat64() }
 
+// ExpFloat64 returns an exponential sample with rate 1 (mean 1). Divide by a
+// rate λ to sample Exp(λ) — e.g. the crash time of an instance that fails at
+// λ crashes per second.
+func (g *RNG) ExpFloat64() float64 { return g.r.ExpFloat64() }
+
 // Jitter returns a multiplicative noise factor 1 + ε where ε is normal with
 // the given relative standard deviation, clamped to ±3σ so a single run
 // cannot produce a negative or wildly outlying duration.

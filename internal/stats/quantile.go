@@ -1,0 +1,38 @@
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// Quantile returns the q-th percentile of xs (q in (0, 100]) under the
+// ceil-rank convention shared by the simulator's and the local runtime's
+// service-time metrics: the value at index ⌈q/100·n⌉−1 of the sorted data.
+// xs is not modified; q outside the range clamps to the nearest element.
+// It panics on empty input — quantiles of nothing are a caller bug.
+func Quantile(xs []float64, q float64) float64 {
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	return QuantileSorted(sorted, q)
+}
+
+// QuantileSorted is Quantile over data already in ascending order, for
+// callers that take several quantiles of one dataset.
+func QuantileSorted(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		panic("stats: quantile of empty data")
+	}
+	return sorted[QuantileIndex(len(sorted), q)]
+}
+
+// QuantileIndex returns the ceil-rank index ⌈q/100·n⌉−1 clamped to [0, n).
+func QuantileIndex(n int, q float64) int {
+	idx := int(math.Ceil(q/100*float64(n))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= n {
+		idx = n - 1
+	}
+	return idx
+}

@@ -1,0 +1,73 @@
+package stats
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestQuantileBasics(t *testing.T) {
+	xs := []float64{5, 1, 4, 2, 3}
+	if got := Quantile(xs, 50); got != 3 {
+		t.Fatalf("median = %g, want 3", got)
+	}
+	if got := Quantile(xs, 100); got != 5 {
+		t.Fatalf("p100 = %g, want 5", got)
+	}
+	if got := Quantile(xs, 1); got != 1 {
+		t.Fatalf("p1 = %g, want 1", got)
+	}
+	// Input must be untouched.
+	if xs[0] != 5 || xs[4] != 3 {
+		t.Fatalf("Quantile mutated its input: %v", xs)
+	}
+}
+
+func TestQuantileIndexMatchesCeilRank(t *testing.T) {
+	for n := 1; n <= 200; n++ {
+		for _, q := range []float64{1, 25, 50, 95, 99, 100} {
+			want := int(math.Ceil(q/100*float64(n))) - 1
+			if want < 0 {
+				want = 0
+			}
+			if want >= n {
+				want = n - 1
+			}
+			if got := QuantileIndex(n, q); got != want {
+				t.Fatalf("QuantileIndex(%d, %g) = %d, want %d", n, q, got, want)
+			}
+		}
+	}
+}
+
+func TestQuantileMonotoneProperty(t *testing.T) {
+	f := func(raw []float64) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		xs := make([]float64, len(raw))
+		for i, v := range raw {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				v = 0
+			}
+			xs[i] = v
+		}
+		med, tail, top := Quantile(xs, 50), Quantile(xs, 95), Quantile(xs, 100)
+		sorted := append([]float64(nil), xs...)
+		sort.Float64s(sorted)
+		return med <= tail && tail <= top && top == sorted[len(sorted)-1]
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuantileEmptyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("quantile of empty data should panic")
+		}
+	}()
+	Quantile(nil, 50)
+}

@@ -14,17 +14,20 @@ func WriteTimelinesCSV(w io.Writer, res *platform.Result) error {
 	if res == nil {
 		return fmt.Errorf("trace: nil result")
 	}
-	if _, err := fmt.Fprintln(w, "index,degree,warm,retries,sched_done,build_done,ship_done,start,end"); err != nil {
+	if _, err := fmt.Fprintln(w, "index,degree,warm,retries,sched_done,build_done,ship_done,start,end,crashes,timeouts,failed_sec,hedged,hedge_won"); err != nil {
 		return err
 	}
 	for _, tl := range res.Timelines {
-		warm := 0
-		if tl.Warm {
-			warm = 1
+		b2i := func(b bool) int {
+			if b {
+				return 1
+			}
+			return 0
 		}
-		if _, err := fmt.Fprintf(w, "%d,%d,%d,%d,%.6f,%.6f,%.6f,%.6f,%.6f\n",
-			tl.Index, tl.Degree, warm, tl.Retries,
-			tl.SchedDone, tl.BuildDone, tl.ShipDone, tl.Start, tl.End); err != nil {
+		if _, err := fmt.Fprintf(w, "%d,%d,%d,%d,%.6f,%.6f,%.6f,%.6f,%.6f,%d,%d,%.6f,%d,%d\n",
+			tl.Index, tl.Degree, b2i(tl.Warm), tl.Retries,
+			tl.SchedDone, tl.BuildDone, tl.ShipDone, tl.Start, tl.End,
+			tl.Crashes, tl.Timeouts, tl.FailedSec, b2i(tl.Hedged), b2i(tl.HedgeWon)); err != nil {
 			return err
 		}
 	}

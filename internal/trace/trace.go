@@ -24,21 +24,44 @@ type Metrics struct {
 	ExpenseUSD    float64
 	FunctionHours float64
 	MeanExecSec   float64
+
+	// Fault-tolerance counters (failure injection, retries, hedging).
+	// All zero on a clean run.
+	Retries        int     // cold-start re-submissions
+	Crashes        int     // mid-execution crashes retried
+	Timeouts       int     // execution-timeout kills retried
+	HedgesLaunched int     // speculative duplicates started
+	HedgesWon      int     // duplicates that finished first
+	HedgesWasted   int     // duplicates the primary beat
+	FailedSec      float64 // billed execution seconds of failed attempts
+	WastedUSD      float64 // dollars spent on work that produced no results
 }
 
 // FromResult extracts Metrics from a simulated burst.
 func FromResult(r *platform.Result) Metrics {
+	var failedSec float64
+	for _, tl := range r.Timelines {
+		failedSec += tl.FailedSec
+	}
 	return Metrics{
-		Platform:      r.Config.Name,
-		Degree:        r.Burst.Degree, // 0 for heterogeneous (mixed) bursts
-		Instances:     r.Instances(),
-		ScalingTime:   r.ScalingTime(),
-		TotalService:  r.TotalServiceTime(),
-		TailService:   r.ServiceTimeAtQuantile(95),
-		MedianService: r.ServiceTimeAtQuantile(50),
-		ExpenseUSD:    r.ExpenseUSD(),
-		FunctionHours: r.FunctionSeconds() / 3600,
-		MeanExecSec:   r.MeanExecSeconds(),
+		Platform:       r.Config.Name,
+		Degree:         r.Burst.Degree, // 0 for heterogeneous (mixed) bursts
+		Instances:      r.Instances(),
+		ScalingTime:    r.ScalingTime(),
+		TotalService:   r.TotalServiceTime(),
+		TailService:    r.ServiceTimeAtQuantile(95),
+		MedianService:  r.ServiceTimeAtQuantile(50),
+		ExpenseUSD:     r.ExpenseUSD(),
+		FunctionHours:  r.FunctionSeconds() / 3600,
+		MeanExecSec:    r.MeanExecSeconds(),
+		Retries:        r.StartRetries,
+		Crashes:        r.Crashes,
+		Timeouts:       r.Timeouts,
+		HedgesLaunched: r.HedgesLaunched,
+		HedgesWon:      r.HedgesWon,
+		HedgesWasted:   r.HedgesLaunched - r.HedgesWon,
+		FailedSec:      failedSec,
+		WastedUSD:      r.WastedUSD,
 	}
 }
 

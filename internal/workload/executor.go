@@ -37,6 +37,14 @@ func RunPacked(w Workload, degree, cores int, baseSeed int64) (PackedResult, err
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
+			// A panicking kernel fails its own function, not the process:
+			// the local runtime's fault-tolerance layer needs instance
+			// failures to be errors it can retry or report.
+			defer func() {
+				if r := recover(); r != nil {
+					errs[i] = fmt.Errorf("workload: packed function %d panicked: %v", i, r)
+				}
+			}()
 			sem <- struct{}{}
 			defer func() { <-sem }()
 			task := w.NewTask(baseSeed + int64(i))

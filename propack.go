@@ -26,6 +26,7 @@ import (
 	"repro/internal/interfere"
 	"repro/internal/orchestrator"
 	"repro/internal/platform"
+	"repro/internal/resilience"
 	"repro/internal/trace"
 	"repro/internal/workload"
 )
@@ -57,6 +58,25 @@ type (
 	Workload = workload.Workload
 	// QoSOptions configures the Sec. 2.6 tail-latency-bounded planning.
 	QoSOptions = core.QoSOptions
+	// FailureModel describes mid-execution crashes for reliability-aware
+	// planning (see AdviseReliable).
+	FailureModel = core.FailureModel
+	// ReliableModels folds a FailureModel into the fitted models.
+	ReliableModels = core.ReliableModels
+	// Backoff is a retry policy (fixed, exponential, or decorrelated-jitter
+	// schedule with attempt/time budgets) accepted by PlatformConfig.Retry
+	// and localfaas jobs.
+	Backoff = resilience.Backoff
+	// Hedge is a quantile-based straggler-hedging policy accepted by
+	// PlatformConfig.Hedge.
+	Hedge = resilience.Hedge
+)
+
+// Backoff schedule kinds.
+const (
+	BackoffFixed        = resilience.Fixed
+	BackoffExponential  = resilience.Exponential
+	BackoffDecorrelated = resilience.Decorrelated
 )
 
 // Objective weight presets (Sec. 2.5).
@@ -111,6 +131,26 @@ func Advise(cfg PlatformConfig, d Demand, c int, w Weights) (Recommendation, err
 		return Recommendation{}, err
 	}
 	plan, err := models.PlanFor(c, w)
+	if err != nil {
+		return Recommendation{}, err
+	}
+	return Recommendation{Plan: plan, Models: models, Overhead: overhead}, nil
+}
+
+// AdviseReliable is Advise for an unreliable platform: the same modeling
+// pipeline, but the optimizer runs on the expected service time and expense
+// under the given failure model — a crash at packing degree P loses all P
+// functions' work and re-runs (and re-bills) the whole instance, so the
+// recommended degree drops as the crash rate rises. With a zero FailureModel
+// it agrees exactly with Advise.
+func AdviseReliable(cfg PlatformConfig, d Demand, c int, w Weights, f FailureModel) (Recommendation, error) {
+	meas := &core.SimMeasurer{Config: cfg, Demand: d, Seed: 1}
+	models, _, _, overhead, err := core.BuildModels(meas, core.ProfileOptionsFor(cfg, d))
+	if err != nil {
+		return Recommendation{}, err
+	}
+	rm := core.ReliableModels{Models: models, Failure: f}
+	plan, err := rm.PlanFor(c, w)
 	if err != nil {
 		return Recommendation{}, err
 	}
