@@ -8,6 +8,7 @@ import (
 	"repro/internal/baseline"
 	"repro/internal/core"
 	"repro/internal/experiments"
+	"repro/internal/obs"
 	"repro/internal/orchestrator"
 	"repro/internal/platform"
 	"repro/internal/workload"
@@ -143,6 +144,24 @@ func BenchmarkBurst5000(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		if _, err := platform.Run(cfg, platform.Burst{
 			Demand: d, Functions: 5000, Degree: 1, Seed: int64(i),
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkBurst5000Observed is BenchmarkBurst5000 with an in-memory span
+// recorder attached. Comparing the two bounds observability's overhead; the
+// nil-recorder path in BenchmarkBurst5000 must stay within noise of the
+// pre-observability baseline.
+func BenchmarkBurst5000Observed(b *testing.B) {
+	cfg := platform.AWSLambda()
+	d := VideoWorkload().Demand()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := platform.Run(cfg, platform.Burst{
+			Demand: d, Functions: 5000, Degree: 1, Seed: int64(i),
+			Recorder: &obs.Memory{},
 		}); err != nil {
 			b.Fatal(err)
 		}

@@ -21,6 +21,7 @@ import (
 	"repro/internal/baseline"
 	"repro/internal/core"
 	"repro/internal/funcx"
+	"repro/internal/localfaas"
 	"repro/internal/orchestrator"
 	"repro/internal/platform"
 	"repro/internal/resilience"
@@ -280,8 +281,10 @@ func cmdRun(args []string) error {
 	c := fs.Int("c", 5000, "concurrency level")
 	degree := fs.Int("degree", 1, "packing degree (1 = traditional)")
 	timeline := fs.String("timeline", "", "write per-instance timelines as CSV to this file")
+	jsonOut := fs.Bool("json", false, "emit the run metrics as one JSON line on stdout")
 	seed := fs.Int64("seed", 1, "simulation seed")
 	applyFaults := faultFlags(fs)
+	setupObs := obsFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -297,25 +300,42 @@ func cmdRun(args []string) error {
 	if err != nil {
 		return err
 	}
-	res, err := platform.Run(cfg, platform.Burst{
-		Demand: w.Demand(), Functions: *c, Degree: *degree, Seed: *seed,
-	})
+	sink, err := setupObs()
 	if err != nil {
 		return err
 	}
-	printMetrics(trace.FromResult(res))
+	sink.Log.Debug("run starting", "app", w.Name(), "platform", cfg.Name,
+		"c", *c, "degree", *degree, "retry", cfg.Retry.String(), "hedge", cfg.Hedge.String())
+	res, err := platform.Run(cfg, platform.Burst{
+		Demand: w.Demand(), Functions: *c, Degree: *degree, Seed: *seed,
+		Recorder: sink.Rec, Label: w.Name(),
+	})
+	if err != nil {
+		sink.Close()
+		return err
+	}
+	if *jsonOut {
+		if err := trace.WriteMetricsJSON(os.Stdout, trace.FromResult(res)); err != nil {
+			sink.Close()
+			return err
+		}
+	} else {
+		printMetrics(trace.FromResult(res))
+	}
 	if *timeline != "" {
 		f, err := os.Create(*timeline)
 		if err != nil {
+			sink.Close()
 			return err
 		}
 		defer f.Close()
 		if err := trace.WriteTimelinesCSV(f, res); err != nil {
+			sink.Close()
 			return err
 		}
-		fmt.Printf("  timelines      : %s (%d rows)\n", *timeline, len(res.Timelines))
+		fmt.Fprintf(os.Stderr, "  timelines      : %s (%d rows)\n", *timeline, len(res.Timelines))
 	}
-	return nil
+	return sink.Close()
 }
 
 func cmdSweep(args []string) error {
@@ -323,7 +343,9 @@ func cmdSweep(args []string) error {
 	app := fs.String("app", "Video", "application name")
 	plat := fs.String("platform", "aws", "platform: aws, google, azure, funcx")
 	c := fs.Int("c", 2000, "concurrency level")
+	jsonOut := fs.Bool("json", false, "emit one JSON line of metrics per degree on stdout")
 	seed := fs.Int64("seed", 1, "simulation seed")
+	setupObs := obsFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -335,9 +357,23 @@ func cmdSweep(args []string) error {
 	if err != nil {
 		return err
 	}
-	all, err := baseline.Sweep(cfg, w.Demand(), *c, *seed, cfg.Shape.MaxDegree(w.Demand()))
+	sink, err := setupObs()
 	if err != nil {
 		return err
+	}
+	all, err := baseline.SweepObserved(cfg, w.Demand(), *c, *seed, cfg.Shape.MaxDegree(w.Demand()), sink.Rec)
+	if err != nil {
+		sink.Close()
+		return err
+	}
+	if *jsonOut {
+		for _, m := range all {
+			if err := trace.WriteMetricsJSON(os.Stdout, m); err != nil {
+				sink.Close()
+				return err
+			}
+		}
+		return sink.Close()
 	}
 	tab := &trace.Table{
 		Title:  fmt.Sprintf("%s on %s at C=%d", w.Name(), cfg.Name, *c),
@@ -348,15 +384,21 @@ func cmdSweep(args []string) error {
 			fmt.Sprintf("%.1fs", m.ScalingTime), fmt.Sprintf("%.1fs", m.TotalService),
 			fmt.Sprintf("%.1fs", m.TailService), fmt.Sprintf("$%.2f", m.ExpenseUSD))
 	}
-	return tab.Fprint(os.Stdout)
+	if err := tab.Fprint(os.Stdout); err != nil {
+		sink.Close()
+		return err
+	}
+	return sink.Close()
 }
 
 func cmdLocal(args []string) error {
 	fs := flag.NewFlagSet("local", flag.ExitOnError)
 	app := fs.String("app", "Stateless Cost", "application name")
-	degree := fs.Int("degree", 4, "functions packed as goroutines")
-	cores := fs.Int("cores", 2, "cores the packed instance may use")
+	c := fs.Int("c", 0, "logical function count (0 = one instance of -degree functions)")
+	degree := fs.Int("degree", 4, "functions packed as goroutines per instance")
+	cores := fs.Int("cores", 2, "cores each packed instance may use")
 	seed := fs.Int64("seed", 1, "input seed")
+	setupObs := obsFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -364,16 +406,31 @@ func cmdLocal(args []string) error {
 	if err != nil {
 		return err
 	}
-	fmt.Printf("running %d × %s packed on %d cores…\n", *degree, w.Name(), *cores)
-	res, err := workload.RunPacked(w, *degree, *cores, *seed)
+	if *c == 0 {
+		*c = *degree
+	}
+	sink, err := setupObs()
 	if err != nil {
 		return err
 	}
-	fmt.Printf("wall time: %v\n", res.Wall)
-	for i, sum := range res.Checksums {
-		fmt.Printf("  function %2d checksum %016x\n", i, sum)
+	fmt.Printf("running %d × %s packed %d per instance on %d cores…\n", *c, w.Name(), *degree, *cores)
+	res, err := localfaas.Run(localfaas.Job{
+		Workload: w, Functions: *c, Degree: *degree,
+		CoresPerInstance: *cores, Seed: *seed, Recorder: sink.Rec,
+	})
+	if err != nil {
+		sink.Close()
+		return err
 	}
-	return nil
+	fmt.Printf("wall time: %.2fs\n", res.Metrics.TotalService)
+	fn := 0
+	for _, inst := range res.Instances {
+		for _, sum := range inst.Checksums {
+			fmt.Printf("  function %2d checksum %016x\n", fn, sum)
+			fn++
+		}
+	}
+	return sink.Close()
 }
 
 func cmdHetero(args []string) error {
@@ -385,6 +442,7 @@ func cmdHetero(args []string) error {
 	plat := fs.String("platform", "aws", "platform: aws, google, azure, funcx")
 	ws := fs.Float64("ws", 0.5, "service-time weight W_S")
 	seed := fs.Int64("seed", 1, "simulation seed")
+	setupObs := obsFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -405,16 +463,21 @@ func cmdHetero(args []string) error {
 		{Workload: wb, Count: *countB},
 	}
 	weights := core.Weights{Service: *ws, Expense: 1 - *ws}
+	sink, err := setupObs()
+	if err != nil {
+		return err
+	}
+	defer sink.Close()
 
-	base, err := orchestrator.ExecuteJointUnpacked(cfg, apps, *seed)
+	base, err := orchestrator.ExecuteJointUnpacked(cfg, apps, *seed, sink.Rec)
 	if err != nil {
 		return err
 	}
-	perApp, degrees, err := orchestrator.ExecutePerAppPacked(cfg, apps, weights, *seed)
+	perApp, degrees, err := orchestrator.ExecutePerAppPacked(cfg, apps, weights, *seed, sink.Rec)
 	if err != nil {
 		return err
 	}
-	run, err := orchestrator.RunMixedProPack(cfg, apps, weights, *seed)
+	run, err := orchestrator.RunMixedProPack(cfg, apps, weights, *seed, sink.Rec)
 	if err != nil {
 		return err
 	}
@@ -489,7 +552,7 @@ func cmdValidate(args []string) error {
 	if err != nil {
 		return err
 	}
-	var obs []core.Observation
+	var observed []core.Observation
 	for _, deg := range core.SampleDegrees(models.MaxDegree) {
 		res, err := platform.Run(cfg, platform.Burst{
 			Demand: w.Demand(), Functions: *c, Degree: deg, Seed: *seed + 101,
@@ -497,18 +560,18 @@ func cmdValidate(args []string) error {
 		if err != nil {
 			break
 		}
-		obs = append(obs, core.Observation{
+		observed = append(observed, core.Observation{
 			Degree:     deg,
 			ServiceSec: res.TotalServiceTime(),
 			ExpenseUSD: res.ExpenseUSD(),
 		})
 	}
-	sv, ev, err := models.ValidateModels(*c, obs, core.PaperValidationDF)
+	sv, ev, err := models.ValidateModels(*c, observed, core.PaperValidationDF)
 	if err != nil {
 		return err
 	}
 	fmt.Printf("%s on %s, %d observations at C=%d (df=%d, 99.5%% confidence)\n",
-		w.Name(), cfg.Name, len(obs), *c, core.PaperValidationDF)
+		w.Name(), cfg.Name, len(observed), *c, core.PaperValidationDF)
 	fmt.Printf("  %v\n  %v\n", sv, ev)
 	if !sv.Accepted || !ev.Accepted {
 		return fmt.Errorf("model rejected by the χ² test")

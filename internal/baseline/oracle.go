@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"repro/internal/interfere"
+	"repro/internal/obs"
 	"repro/internal/orchestrator"
 	"repro/internal/platform"
 	"repro/internal/trace"
@@ -108,9 +109,16 @@ func (o Oracle) Search(cfg platform.Config, d interfere.Demand, c int, seed int6
 // stopping at the platform's execution limit, and returns the metrics of
 // each feasible run in degree order.
 func Sweep(cfg platform.Config, d interfere.Demand, c int, seed int64, maxDeg int) ([]trace.Metrics, error) {
+	return SweepObserved(cfg, d, c, seed, maxDeg, nil)
+}
+
+// SweepObserved is Sweep with event-level observability: every degree's
+// burst is recorded into rec (nil disables recording), labeled "sweep".
+// Exported traces keep the runs apart by their per-burst packing degree.
+func SweepObserved(cfg platform.Config, d interfere.Demand, c int, seed int64, maxDeg int, rec obs.Recorder) ([]trace.Metrics, error) {
 	var out []trace.Metrics
 	for deg := 1; deg <= maxDeg; deg++ {
-		m, err := orchestrator.Execute(cfg, d, c, deg, seed)
+		m, err := orchestrator.ExecuteObserved(cfg, d, c, deg, seed, rec, "sweep")
 		if errors.Is(err, platform.ErrExecLimit) {
 			break // higher degrees only get slower; stop the sweep
 		}

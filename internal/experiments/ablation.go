@@ -182,9 +182,9 @@ func ablateAlternatives(cfg Config, t *trace.Table, p platform.Config, w workloa
 			return err
 		}
 		t.AddRow("alternatives", s.Name(), fmt.Sprintf("C=%d", c),
-			fmt.Sprintf("service %+.1f%%, expense %+.1f%%",
-				trace.Improvement(base.TotalService, m.TotalService),
-				trace.Improvement(base.ExpenseUSD, m.ExpenseUSD)))
+			fmt.Sprintf("service %s, expense %s",
+				spct(trace.Improvement(base.TotalService, m.TotalService)),
+				spct(trace.Improvement(base.ExpenseUSD, m.ExpenseUSD))))
 	}
 	run, err := orchestrator.RunProPack(p, w.Demand(), c, core.Balanced(), cfg.Seed)
 	if err != nil {
@@ -192,8 +192,8 @@ func ablateAlternatives(cfg Config, t *trace.Table, p platform.Config, w workloa
 	}
 	got := run.MetricsWithOverhead()
 	t.AddRow("alternatives", "ProPack", fmt.Sprintf("C=%d", c),
-		fmt.Sprintf("service %+.1f%%, expense %+.1f%%",
-			trace.Improvement(base.TotalService, got.TotalService),
-			trace.Improvement(base.ExpenseUSD, got.ExpenseUSD)))
+		fmt.Sprintf("service %s, expense %s",
+			spct(trace.Improvement(base.TotalService, got.TotalService)),
+			spct(trace.Improvement(base.ExpenseUSD, got.ExpenseUSD))))
 	return nil
 }

@@ -13,6 +13,7 @@ package experiments
 
 import (
 	"fmt"
+	"math"
 	"sort"
 
 	"repro/internal/trace"
@@ -110,7 +111,22 @@ func ByID(id string) (Experiment, error) {
 	return Experiment{}, fmt.Errorf("experiments: unknown id %q (have %v)", id, ids)
 }
 
-func pct(v float64) string  { return fmt.Sprintf("%.1f%%", v) }
+// pct and spct render percentages; NaN (e.g. trace.Improvement over a zero
+// base) reads "n/a" rather than a fake number.
+func pct(v float64) string {
+	if math.IsNaN(v) {
+		return "n/a"
+	}
+	return fmt.Sprintf("%.1f%%", v)
+}
+
+func spct(v float64) string {
+	if math.IsNaN(v) {
+		return "n/a"
+	}
+	return fmt.Sprintf("%+.1f%%", v)
+}
+
 func sec(v float64) string  { return fmt.Sprintf("%.1fs", v) }
 func usd(v float64) string  { return fmt.Sprintf("$%.2f", v) }
 func itoa(v int) string     { return fmt.Sprintf("%d", v) }

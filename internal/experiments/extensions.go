@@ -40,21 +40,21 @@ func ExtHetero(cfg Config) (*trace.Table, error) {
 		}},
 	}
 	for _, job := range jobs {
-		base, err := orchestrator.ExecuteJointUnpacked(p, job.apps, cfg.Seed)
+		base, err := orchestrator.ExecuteJointUnpacked(p, job.apps, cfg.Seed, nil)
 		if err != nil {
 			return nil, err
 		}
 		t.AddRow(job.name, "unpacked", itoa(base.Instances),
 			sec(base.TotalService), usd(base.ExpenseUSD))
 
-		perApp, degrees, err := orchestrator.ExecutePerAppPacked(p, job.apps, core.Balanced(), cfg.Seed)
+		perApp, degrees, err := orchestrator.ExecutePerAppPacked(p, job.apps, core.Balanced(), cfg.Seed, nil)
 		if err != nil {
 			return nil, err
 		}
 		t.AddRow(job.name, fmt.Sprintf("per-app ProPack (degrees %v)", degrees),
 			itoa(perApp.Instances), sec(perApp.TotalService), usd(perApp.ExpenseUSD))
 
-		mixed, err := orchestrator.RunMixedProPack(p, job.apps, core.Balanced(), cfg.Seed)
+		mixed, err := orchestrator.RunMixedProPack(p, job.apps, core.Balanced(), cfg.Seed, nil)
 		if err != nil {
 			return nil, err
 		}

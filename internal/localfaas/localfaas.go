@@ -31,6 +31,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/resilience"
 	"repro/internal/sim"
 	"repro/internal/stats"
@@ -86,6 +87,12 @@ type Job struct {
 	// that completed, plus a *JobError listing the ones that did not,
 	// instead of failing the whole job on the first instance error.
 	PartialResults bool
+
+	// Recorder receives event-level observability records (queued and exec
+	// spans, retry and backoff events) with wall-clock timestamps relative
+	// to the job's start. Instances emit concurrently, which every
+	// internal/obs recorder supports; nil disables observability.
+	Recorder obs.Recorder
 }
 
 // Validate reports an error for malformed jobs.
@@ -186,6 +193,13 @@ func RunContext(ctx context.Context, job Job) (*Result, error) {
 	records := make([]InstanceRecord, n)
 	errs := make([]error, n)
 
+	rec := job.Recorder
+	if rec != nil {
+		rec.BeginBurst(obs.BurstInfo{
+			Platform: "localfaas", Functions: job.Functions,
+			Degree: job.Degree, Instances: n,
+		})
+	}
 	begin := time.Now()
 	sem := make(chan struct{}, maxPar)
 	var wg sync.WaitGroup
@@ -200,7 +214,8 @@ func RunContext(ctx context.Context, job Job) (*Result, error) {
 		go func(i, deg int) {
 			defer wg.Done()
 			// Control-plane delay happens "in the cloud": it does not hold
-			// a host slot. It is interruptible by ctx.
+			// a host slot. It is interruptible by ctx. The delay plus the
+			// wait for a host slot is the instance's queued span.
 			if d := delay(i); d > 0 {
 				if !sleepCtx(ctx, d) {
 					errs[i] = ctx.Err()
@@ -214,7 +229,21 @@ func RunContext(ctx context.Context, job Job) (*Result, error) {
 				return
 			}
 			defer func() { <-sem }()
+			if rec != nil {
+				if admitted := time.Since(begin); admitted > 0 {
+					rec.Span(obs.Span{
+						Instance: i, Stage: obs.StageQueued,
+						StartSec: 0, EndSec: admitted.Seconds(),
+					})
+				}
+			}
 			records[i], errs[i] = runInstance(ctx, job, i, deg, begin)
+			if rec != nil && errs[i] == nil {
+				rec.Span(obs.Span{
+					Instance: i, Stage: obs.StageExec,
+					StartSec: records[i].Start.Seconds(), EndSec: records[i].End.Seconds(),
+				})
+			}
 		}(i, deg)
 	}
 
@@ -281,6 +310,11 @@ func runInstance(ctx context.Context, job Job, i, deg int, begin time.Time) (Ins
 		}
 		rec.Retries++
 		prevDelay = job.Retry.Delay(retry, prevDelay, rng.Float64)
+		if r := job.Recorder; r != nil {
+			at := time.Since(begin).Seconds()
+			r.Event(obs.Event{Instance: i, Kind: obs.EventStartRetry, AtSec: at})
+			r.Event(obs.Event{Instance: i, Kind: obs.EventBackoff, AtSec: at, DurSec: prevDelay})
+		}
 		if !sleepCtx(ctx, time.Duration(prevDelay*float64(time.Second))) {
 			return rec, ctx.Err()
 		}

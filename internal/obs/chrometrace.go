@@ -1,0 +1,98 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+)
+
+// Chrome trace-event export: the recorded bursts rendered in the format
+// chrome://tracing and https://ui.perfetto.dev load natively. Each burst
+// becomes one "process" (pid = burst index + 1, named after its platform,
+// label, and shape) and each instance one "thread" (tid = instance index),
+// so a 5000-function burst's scaling wave is visible as a staircase of
+// sched/build/ship/boot/exec slices, with fault events as instants.
+//
+// Timestamps are microseconds (the format's unit), rounded to integers so
+// the output is byte-stable for golden tests.
+
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	Ts   int64          `json:"ts"`
+	Dur  *int64         `json:"dur,omitempty"`
+	Cat  string         `json:"cat,omitempty"`
+	S    string         `json:"s,omitempty"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+func usec(sec float64) int64 { return int64(math.Round(sec * 1e6)) }
+
+// WriteChromeTrace writes the bursts as a Chrome trace-event JSON object.
+// Output is deterministic for a deterministic recording: events appear in
+// burst order, metadata first, then spans, then instants, each on its own
+// line inside the traceEvents array.
+func WriteChromeTrace(w io.Writer, bursts []BurstRecord) error {
+	if _, err := io.WriteString(w, "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n"); err != nil {
+		return err
+	}
+	first := true
+	emit := func(ev chromeEvent) error {
+		line, err := json.Marshal(ev)
+		if err != nil {
+			return err
+		}
+		if !first {
+			if _, err := io.WriteString(w, ",\n"); err != nil {
+				return err
+			}
+		}
+		first = false
+		_, err = w.Write(line)
+		return err
+	}
+	for bi, b := range bursts {
+		pid := bi + 1
+		name := b.Info.Platform
+		if b.Info.Label != "" {
+			name += " " + b.Info.Label
+		}
+		if b.Info.Degree > 0 {
+			name += fmt.Sprintf(" C=%d P=%d", b.Info.Functions, b.Info.Degree)
+		} else if b.Info.Functions > 0 {
+			name += fmt.Sprintf(" C=%d mixed", b.Info.Functions)
+		}
+		if err := emit(chromeEvent{
+			Name: "process_name", Ph: "M", Pid: pid,
+			Args: map[string]any{"name": name},
+		}); err != nil {
+			return err
+		}
+		for _, s := range b.Spans {
+			dur := usec(s.EndSec) - usec(s.StartSec)
+			if err := emit(chromeEvent{
+				Name: s.Stage.String(), Ph: "X", Pid: pid, Tid: s.Instance,
+				Ts: usec(s.StartSec), Dur: &dur, Cat: "stage",
+			}); err != nil {
+				return err
+			}
+		}
+		for _, e := range b.Events {
+			ev := chromeEvent{
+				Name: e.Kind.String(), Ph: "i", Pid: pid, Tid: e.Instance,
+				Ts: usec(e.AtSec), Cat: "fault", S: "t",
+			}
+			if e.DurSec != 0 {
+				ev.Args = map[string]any{"dur_us": usec(e.DurSec)}
+			}
+			if err := emit(ev); err != nil {
+				return err
+			}
+		}
+	}
+	_, err := io.WriteString(w, "\n]}\n")
+	return err
+}

@@ -1,0 +1,99 @@
+package obs
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func demoBursts() []BurstRecord {
+	return []BurstRecord{
+		{
+			Info: BurstInfo{Platform: "AWS Lambda", Label: "demo", Functions: 8, Degree: 4, Instances: 2},
+			Spans: []Span{
+				{Instance: 0, Stage: StageSched, StartSec: 0, EndSec: 0.1},
+				{Instance: 0, Stage: StageExec, StartSec: 0.1, EndSec: 2.1},
+				{Instance: 1, Stage: StageSched, StartSec: 0, EndSec: 0.2},
+			},
+			Events: []Event{
+				{Instance: 1, Kind: EventCrash, AtSec: 1.5, DurSec: 1.3},
+				{Instance: 1, Kind: EventBackoff, AtSec: 1.5, DurSec: 0.25},
+			},
+		},
+		{
+			Info:  BurstInfo{Platform: "localfaas", Functions: 3, Degree: 0, Instances: 3},
+			Spans: []Span{{Instance: 2, Stage: StageQueued, StartSec: 0, EndSec: 0.05}},
+		},
+	}
+}
+
+func TestWriteChromeTraceValidAndStable(t *testing.T) {
+	var a, b strings.Builder
+	if err := WriteChromeTrace(&a, demoBursts()); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteChromeTrace(&b, demoBursts()); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Fatal("Chrome trace output not deterministic")
+	}
+
+	var doc struct {
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+		TraceEvents     []struct {
+			Name string         `json:"name"`
+			Ph   string         `json:"ph"`
+			Pid  int            `json:"pid"`
+			Tid  int            `json:"tid"`
+			Ts   int64          `json:"ts"`
+			Dur  *int64         `json:"dur"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal([]byte(a.String()), &doc); err != nil {
+		t.Fatalf("output is not valid JSON: %v\n%s", err, a.String())
+	}
+	if doc.DisplayTimeUnit != "ms" {
+		t.Fatalf("displayTimeUnit = %q", doc.DisplayTimeUnit)
+	}
+	// 2 process_name metadata + 4 spans + 2 instants.
+	if len(doc.TraceEvents) != 8 {
+		t.Fatalf("got %d trace events, want 8", len(doc.TraceEvents))
+	}
+	byPh := map[string]int{}
+	for _, ev := range doc.TraceEvents {
+		byPh[ev.Ph]++
+	}
+	if byPh["M"] != 2 || byPh["X"] != 4 || byPh["i"] != 2 {
+		t.Fatalf("event phases wrong: %v", byPh)
+	}
+
+	meta := doc.TraceEvents[0]
+	if meta.Name != "process_name" || meta.Args["name"] != "AWS Lambda demo C=8 P=4" {
+		t.Fatalf("process metadata wrong: %+v", meta)
+	}
+	exec := doc.TraceEvents[2]
+	if exec.Name != "exec" || exec.Ts != 100000 || exec.Dur == nil || *exec.Dur != 2000000 {
+		t.Fatalf("exec span wrong: %+v", exec)
+	}
+	// Second burst gets its own pid and a mixed-burst process name.
+	last := doc.TraceEvents[len(doc.TraceEvents)-1]
+	if last.Pid != 2 {
+		t.Fatalf("second burst pid = %d, want 2", last.Pid)
+	}
+	if !strings.Contains(a.String(), "localfaas C=3 mixed") {
+		t.Fatalf("mixed process name missing:\n%s", a.String())
+	}
+}
+
+func TestWriteChromeTraceEmpty(t *testing.T) {
+	var sb strings.Builder
+	if err := WriteChromeTrace(&sb, nil); err != nil {
+		t.Fatal(err)
+	}
+	var doc map[string]any
+	if err := json.Unmarshal([]byte(sb.String()), &doc); err != nil {
+		t.Fatalf("empty trace not valid JSON: %v\n%s", err, sb.String())
+	}
+}

@@ -1,0 +1,46 @@
+package obs
+
+import (
+	"expvar"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+)
+
+// publishOnce guards the process-global expvar namespace: expvar.Publish
+// panics on duplicate names, and tests may start several debug servers.
+var publishOnce sync.Once
+
+// StartDebug serves the Go diagnostic endpoints on addr for profiling long
+// simulations and local runs:
+//
+//	/debug/pprof/...  CPU, heap, goroutine, block profiles
+//	/debug/vars       expvar (incl. a live snapshot of reg, if non-nil)
+//	/metrics          human-readable dump of reg (404 when reg is nil)
+//
+// It returns the bound address (useful with ":0"), a stop function, and any
+// listen error. The server runs until stop is called or the process exits.
+func StartDebug(addr string, reg *Registry) (string, func() error, error) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.Handle("/debug/vars", expvar.Handler())
+	if reg != nil {
+		publishOnce.Do(func() { expvar.Publish("propack", reg.ExpvarFunc()) })
+		mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			_ = reg.Fprint(w)
+		})
+	}
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", nil, err
+	}
+	srv := &http.Server{Handler: mux}
+	go func() { _ = srv.Serve(l) }()
+	return l.Addr().String(), srv.Close, nil
+}

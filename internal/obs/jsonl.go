@@ -1,0 +1,111 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+)
+
+// JSONL is a streaming Recorder that writes one JSON object per line:
+//
+//	{"type":"burst","platform":"AWS Lambda","functions":100,"degree":4,"instances":25}
+//	{"type":"span","burst":0,"instance":0,"stage":"sched","start_sec":0,"end_sec":0.1}
+//	{"type":"event","burst":0,"instance":3,"kind":"crash","at_sec":12.5,"dur_sec":3.2}
+//
+// Lines appear in emission order; the "burst" index ties spans and events to
+// the most recent burst line. Writes after the first error are dropped and
+// the error is reported by Err (and by Flush), so emitters never see I/O
+// failures mid-burst.
+type JSONL struct {
+	mu    sync.Mutex
+	w     io.Writer
+	burst int // index of the current burst, -1 before the first
+	err   error
+}
+
+// NewJSONL returns a JSONL recorder writing to w. The caller owns w (and
+// any buffering/closing); call Err or Flush at the end to surface write
+// errors.
+func NewJSONL(w io.Writer) *JSONL {
+	return &JSONL{w: w, burst: -1}
+}
+
+type jsonlBurst struct {
+	Type      string `json:"type"`
+	Platform  string `json:"platform"`
+	Label     string `json:"label,omitempty"`
+	Functions int    `json:"functions"`
+	Degree    int    `json:"degree"`
+	Instances int    `json:"instances"`
+}
+
+type jsonlSpan struct {
+	Type     string  `json:"type"`
+	Burst    int     `json:"burst"`
+	Instance int     `json:"instance"`
+	Stage    string  `json:"stage"`
+	StartSec float64 `json:"start_sec"`
+	EndSec   float64 `json:"end_sec"`
+}
+
+type jsonlEvent struct {
+	Type     string  `json:"type"`
+	Burst    int     `json:"burst"`
+	Instance int     `json:"instance"`
+	Kind     string  `json:"kind"`
+	AtSec    float64 `json:"at_sec"`
+	DurSec   float64 `json:"dur_sec,omitempty"`
+}
+
+func (j *JSONL) write(v any) {
+	if j.err != nil {
+		return
+	}
+	line, err := json.Marshal(v)
+	if err != nil {
+		j.err = err
+		return
+	}
+	line = append(line, '\n')
+	if _, err := j.w.Write(line); err != nil {
+		j.err = err
+	}
+}
+
+// BeginBurst implements Recorder.
+func (j *JSONL) BeginBurst(b BurstInfo) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.burst++
+	j.write(jsonlBurst{
+		Type: "burst", Platform: b.Platform, Label: b.Label,
+		Functions: b.Functions, Degree: b.Degree, Instances: b.Instances,
+	})
+}
+
+// Span implements Recorder.
+func (j *JSONL) Span(s Span) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.write(jsonlSpan{
+		Type: "span", Burst: j.burst, Instance: s.Instance,
+		Stage: s.Stage.String(), StartSec: s.StartSec, EndSec: s.EndSec,
+	})
+}
+
+// Event implements Recorder.
+func (j *JSONL) Event(e Event) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.write(jsonlEvent{
+		Type: "event", Burst: j.burst, Instance: e.Instance,
+		Kind: e.Kind.String(), AtSec: e.AtSec, DurSec: e.DurSec,
+	})
+}
+
+// Err returns the first write or marshal error, if any.
+func (j *JSONL) Err() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.err
+}

@@ -1,0 +1,55 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"log/slog"
+)
+
+// NewLogger builds the CLI's structured logger. format is "text" (logfmt
+// style, the default) or "json"; verbose lowers the level to Debug so span
+// records are logged too.
+func NewLogger(w io.Writer, format string, verbose bool) (*slog.Logger, error) {
+	level := slog.LevelInfo
+	if verbose {
+		level = slog.LevelDebug
+	}
+	opts := &slog.HandlerOptions{Level: level}
+	switch format {
+	case "", "text":
+		return slog.New(slog.NewTextHandler(w, opts)), nil
+	case "json":
+		return slog.New(slog.NewJSONHandler(w, opts)), nil
+	default:
+		return nil, fmt.Errorf("obs: unknown log format %q (text, json)", format)
+	}
+}
+
+// LogRecorder is a Recorder that narrates the run through a slog.Logger:
+// burst boundaries and fault events at Info, stage spans at Debug (enable
+// with a verbose logger — a 5000-instance burst emits five spans per
+// instance).
+type LogRecorder struct {
+	L *slog.Logger
+}
+
+// BeginBurst implements Recorder.
+func (lr LogRecorder) BeginBurst(b BurstInfo) {
+	lr.L.Info("burst begin",
+		"platform", b.Platform, "label", b.Label,
+		"functions", b.Functions, "degree", b.Degree, "instances", b.Instances)
+}
+
+// Span implements Recorder.
+func (lr LogRecorder) Span(s Span) {
+	lr.L.Debug("stage span",
+		"instance", s.Instance, "stage", s.Stage.String(),
+		"start_sec", s.StartSec, "end_sec", s.EndSec, "dur_sec", s.DurSec())
+}
+
+// Event implements Recorder.
+func (lr LogRecorder) Event(e Event) {
+	lr.L.Info("fault event",
+		"instance", e.Instance, "kind", e.Kind.String(),
+		"at_sec", e.AtSec, "dur_sec", e.DurSec)
+}

@@ -1,0 +1,62 @@
+package obs
+
+import "sync"
+
+// BurstRecord is one burst's complete recording: its identity plus every
+// span and event emitted between its BeginBurst and the next.
+type BurstRecord struct {
+	Info   BurstInfo
+	Spans  []Span
+	Events []Event
+}
+
+// Memory is a Recorder that retains everything in memory, grouped by burst.
+// It is the input to the offline exporters (WriteChromeTrace,
+// FprintStageSummary). The zero value is ready to use.
+type Memory struct {
+	mu     sync.Mutex
+	bursts []BurstRecord
+}
+
+// BeginBurst implements Recorder.
+func (m *Memory) BeginBurst(b BurstInfo) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.bursts = append(m.bursts, BurstRecord{Info: b})
+}
+
+// current returns the open burst, creating an anonymous one for records
+// emitted before any BeginBurst (defensive; emitters always begin first).
+func (m *Memory) current() *BurstRecord {
+	if len(m.bursts) == 0 {
+		m.bursts = append(m.bursts, BurstRecord{})
+	}
+	return &m.bursts[len(m.bursts)-1]
+}
+
+// Span implements Recorder.
+func (m *Memory) Span(s Span) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	cur := m.current()
+	cur.Spans = append(cur.Spans, s)
+}
+
+// Event implements Recorder.
+func (m *Memory) Event(e Event) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	cur := m.current()
+	cur.Events = append(cur.Events, e)
+}
+
+// Bursts returns a snapshot of the recorded bursts. The slice headers are
+// copied; the underlying span/event slices are shared and must not be
+// mutated by the caller.
+func (m *Memory) Bursts() []BurstRecord {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]BurstRecord, len(m.bursts))
+	copy(out, m.bursts)
+	return out
+}

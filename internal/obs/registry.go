@@ -1,0 +1,309 @@
+package obs
+
+import (
+	"expvar"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"text/tabwriter"
+)
+
+// Counter is a monotonically increasing integer metric.
+type Counter struct{ v atomic.Int64 }
+
+// Add increments the counter by d (d must be ≥ 0; negative deltas are
+// ignored so a counter never runs backwards).
+func (c *Counter) Add(d int64) {
+	if d > 0 {
+		c.v.Add(d)
+	}
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is a float metric that may move in both directions.
+type Gauge struct{ bits atomic.Uint64 }
+
+// Set replaces the gauge's value.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// DefaultLatencyBuckets are the fixed histogram bounds (in seconds) used for
+// stage latencies: roughly exponential from 5 ms to 500 s, wide enough for
+// both real kernels and simulated 5000-way scaling waves.
+var DefaultLatencyBuckets = []float64{
+	0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 25, 50, 100, 250, 500,
+}
+
+// Histogram is a fixed-bucket latency histogram: counts[i] observations fell
+// in (bounds[i−1], bounds[i]], with one overflow bucket past the last bound.
+type Histogram struct {
+	mu     sync.Mutex
+	bounds []float64
+	counts []uint64
+	sum    float64
+	n      uint64
+	max    float64
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i]++
+	h.sum += v
+	h.n++
+	if v > h.max {
+		h.max = v
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 { h.mu.Lock(); defer h.mu.Unlock(); return h.n }
+
+// Sum returns the sum of observations.
+func (h *Histogram) Sum() float64 { h.mu.Lock(); defer h.mu.Unlock(); return h.sum }
+
+// Max returns the largest observation (0 with no observations).
+func (h *Histogram) Max() float64 { h.mu.Lock(); defer h.mu.Unlock(); return h.max }
+
+// Mean returns the mean observation (0 with no observations).
+func (h *Histogram) Mean() float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.n == 0 {
+		return 0
+	}
+	return h.sum / float64(h.n)
+}
+
+// Quantile returns an upper bound for the q-th percentile (q in [0,100]):
+// the bucket bound below which at least q% of observations fall. The last
+// bucket reports the observed maximum.
+func (h *Histogram) Quantile(q float64) float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.n == 0 {
+		return 0
+	}
+	target := uint64(math.Ceil(q / 100 * float64(h.n)))
+	if target < 1 {
+		target = 1
+	}
+	var cum uint64
+	for i, c := range h.counts {
+		cum += c
+		if cum >= target {
+			if i < len(h.bounds) {
+				return h.bounds[i]
+			}
+			return h.max
+		}
+	}
+	return h.max
+}
+
+// Buckets returns the histogram's (bound, cumulative-count) pairs plus the
+// overflow count, for exporters.
+func (h *Histogram) Buckets() (bounds []float64, counts []uint64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return append([]float64(nil), h.bounds...), append([]uint64(nil), h.counts...)
+}
+
+// Registry is an in-process metrics registry: named counters, gauges, and
+// fixed-bucket histograms. All methods are safe for concurrent use; metric
+// handles are created on first touch and stable thereafter.
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: map[string]*Counter{},
+		gauges:   map[string]*Gauge{},
+		hists:    map[string]*Histogram{},
+	}
+}
+
+// Counter returns the named counter, creating it if needed.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it if needed.
+func (r *Registry) Gauge(name string) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the named histogram, creating it with the given bounds
+// if needed (nil bounds mean DefaultLatencyBuckets). Bounds are fixed at
+// creation; later calls ignore the argument.
+func (r *Registry) Histogram(name string, bounds []float64) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.hists[name]
+	if !ok {
+		if bounds == nil {
+			bounds = DefaultLatencyBuckets
+		}
+		h = &Histogram{
+			bounds: append([]float64(nil), bounds...),
+			counts: make([]uint64, len(bounds)+1),
+		}
+		r.hists[name] = h
+	}
+	return h
+}
+
+// Snapshot is a point-in-time, sorted view of every metric, for printing and
+// expvar export.
+type Snapshot struct {
+	Counters map[string]int64   `json:"counters"`
+	Gauges   map[string]float64 `json:"gauges"`
+	Hists    map[string]HistSnapshot `json:"histograms"`
+}
+
+// HistSnapshot summarizes one histogram.
+type HistSnapshot struct {
+	Count uint64  `json:"count"`
+	Sum   float64 `json:"sum"`
+	Mean  float64 `json:"mean"`
+	P50   float64 `json:"p50"`
+	P95   float64 `json:"p95"`
+	Max   float64 `json:"max"`
+}
+
+// Snapshot captures the current metric values.
+func (r *Registry) Snapshot() Snapshot {
+	r.mu.Lock()
+	counters := make(map[string]*Counter, len(r.counters))
+	for k, v := range r.counters {
+		counters[k] = v
+	}
+	gauges := make(map[string]*Gauge, len(r.gauges))
+	for k, v := range r.gauges {
+		gauges[k] = v
+	}
+	hists := make(map[string]*Histogram, len(r.hists))
+	for k, v := range r.hists {
+		hists[k] = v
+	}
+	r.mu.Unlock()
+
+	snap := Snapshot{
+		Counters: make(map[string]int64, len(counters)),
+		Gauges:   make(map[string]float64, len(gauges)),
+		Hists:    make(map[string]HistSnapshot, len(hists)),
+	}
+	for k, c := range counters {
+		snap.Counters[k] = c.Value()
+	}
+	for k, g := range gauges {
+		snap.Gauges[k] = g.Value()
+	}
+	for k, h := range hists {
+		snap.Hists[k] = HistSnapshot{
+			Count: h.Count(), Sum: h.Sum(), Mean: h.Mean(),
+			P50: h.Quantile(50), P95: h.Quantile(95), Max: h.Max(),
+		}
+	}
+	return snap
+}
+
+// Fprint writes a human-readable, alphabetically sorted dump of the
+// registry's current values.
+func (r *Registry) Fprint(w io.Writer) error {
+	snap := r.Snapshot()
+	tw := tabwriter.NewWriter(w, 0, 0, 2, ' ', 0)
+	for _, name := range sortedKeys(snap.Counters) {
+		fmt.Fprintf(tw, "counter\t%s\t%d\n", name, snap.Counters[name])
+	}
+	for _, name := range sortedKeys(snap.Gauges) {
+		fmt.Fprintf(tw, "gauge\t%s\t%g\n", name, snap.Gauges[name])
+	}
+	for _, name := range sortedKeys(snap.Hists) {
+		h := snap.Hists[name]
+		fmt.Fprintf(tw, "histogram\t%s\tn=%d mean=%.3fs p50≤%.3gs p95≤%.3gs max=%.3fs\n",
+			name, h.Count, h.Mean, h.P50, h.P95, h.Max)
+	}
+	return tw.Flush()
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ExpvarFunc adapts the registry to expvar: publish it once under a name
+// (e.g. expvar.Publish("propack", reg.ExpvarFunc())) and /debug/vars shows
+// a live snapshot.
+func (r *Registry) ExpvarFunc() expvar.Func {
+	return func() any { return r.Snapshot() }
+}
+
+// RegistryRecorder is a Recorder feeding a Registry: per-stage latency
+// histograms ("stage_seconds_<stage>"), per-kind event counters
+// ("events_<kind>"), burst counters, and instance gauges. This is what the
+// CLI's -debug.addr endpoint exposes while a long run is in flight.
+type RegistryRecorder struct {
+	Reg *Registry
+}
+
+// BeginBurst implements Recorder.
+func (rr RegistryRecorder) BeginBurst(b BurstInfo) {
+	rr.Reg.Counter("bursts_total").Inc()
+	rr.Reg.Counter("functions_total").Add(int64(b.Functions))
+	rr.Reg.Counter("instances_total").Add(int64(b.Instances))
+	rr.Reg.Gauge("last_burst_instances").Set(float64(b.Instances))
+}
+
+// Span implements Recorder.
+func (rr RegistryRecorder) Span(s Span) {
+	rr.Reg.Histogram("stage_seconds_"+s.Stage.String(), nil).Observe(s.DurSec())
+}
+
+// Event implements Recorder.
+func (rr RegistryRecorder) Event(e Event) {
+	rr.Reg.Counter("events_" + e.Kind.String()).Inc()
+	if e.DurSec > 0 {
+		switch e.Kind {
+		case EventCrash, EventTimeout, EventHedgeWaste:
+			rr.Reg.Histogram("wasted_seconds", nil).Observe(e.DurSec)
+		case EventBackoff:
+			rr.Reg.Histogram("backoff_seconds", nil).Observe(e.DurSec)
+		}
+	}
+}

@@ -1,0 +1,58 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"text/tabwriter"
+)
+
+// FprintStageSummary writes an aligned per-stage breakdown of the recorded
+// bursts: span counts, total/mean/max durations per lifecycle stage, and a
+// count of every fault/policy event kind. Stages and kinds with no records
+// are omitted, so a clean run prints only the lifecycle rows.
+func FprintStageSummary(w io.Writer, bursts []BurstRecord) error {
+	var (
+		count [numStages]int
+		total [numStages]float64
+		max   [numStages]float64
+	)
+	events := map[EventKind]int{}
+	for _, b := range bursts {
+		for _, s := range b.Spans {
+			d := s.DurSec()
+			i := int(s.Stage)
+			if i >= numStages {
+				continue
+			}
+			count[i]++
+			total[i] += d
+			if d > max[i] {
+				max[i] = d
+			}
+		}
+		for _, e := range b.Events {
+			events[e.Kind]++
+		}
+	}
+
+	tw := tabwriter.NewWriter(w, 0, 0, 2, ' ', 0)
+	fmt.Fprintln(tw, "stage\tspans\ttotal\tmean\tmax")
+	for _, st := range Stages() {
+		i := int(st)
+		if count[i] == 0 {
+			continue
+		}
+		fmt.Fprintf(tw, "%s\t%d\t%.1fs\t%.3fs\t%.3fs\n",
+			st, count[i], total[i], total[i]/float64(count[i]), max[i])
+	}
+	if len(events) > 0 {
+		fmt.Fprintln(tw, "\t\t\t\t")
+		fmt.Fprintln(tw, "event\tcount\t\t\t")
+		for k := EventKind(0); int(k) < numEventKinds; k++ {
+			if n := events[k]; n > 0 {
+				fmt.Fprintf(tw, "%s\t%d\t\t\t\n", k, n)
+			}
+		}
+	}
+	return tw.Flush()
+}

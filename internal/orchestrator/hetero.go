@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/interfere"
+	"repro/internal/obs"
 	"repro/internal/platform"
 	"repro/internal/trace"
 	"repro/internal/workload"
@@ -134,8 +135,10 @@ func probeCrossDiscount(cfg platform.Config, apps []MixedApp, coreApps []core.Ap
 	return sum / float64(pairs), nil
 }
 
-// RunMixedProPack plans cross-application packing and executes it.
-func RunMixedProPack(cfg platform.Config, apps []MixedApp, w core.Weights, seed int64) (MixedRun, error) {
+// RunMixedProPack plans cross-application packing and executes it. The
+// final burst's spans and events flow into rec (nil disables recording);
+// planning probes are never recorded.
+func RunMixedProPack(cfg platform.Config, apps []MixedApp, w core.Weights, seed int64, rec obs.Recorder) (MixedRun, error) {
 	coreApps, scaling, overhead, err := buildApps(cfg, apps, seed)
 	if err != nil {
 		return MixedRun{}, err
@@ -155,7 +158,10 @@ func RunMixedProPack(cfg platform.Config, apps []MixedApp, w core.Weights, seed 
 	if err != nil {
 		return MixedRun{}, err
 	}
-	res, err := platform.RunMixed(cfg, platform.MixedBurst{Bins: binsFromPlan(plan, apps), Seed: seed})
+	res, err := platform.RunMixed(cfg, platform.MixedBurst{
+		Bins: binsFromPlan(plan, apps), Seed: seed,
+		Recorder: rec, Label: "mixed",
+	})
 	if err != nil {
 		return MixedRun{}, err
 	}
@@ -165,7 +171,8 @@ func RunMixedProPack(cfg platform.Config, apps []MixedApp, w core.Weights, seed 
 // ExecutePerAppPacked runs the job with each application packed at its own
 // single-app ProPack degree — instances never mix applications, but all
 // instances share one invocation burst (and its control-plane contention).
-func ExecutePerAppPacked(cfg platform.Config, apps []MixedApp, w core.Weights, seed int64) (trace.Metrics, []int, error) {
+// rec receives the burst's observability records (nil disables recording).
+func ExecutePerAppPacked(cfg platform.Config, apps []MixedApp, w core.Weights, seed int64, rec obs.Recorder) (trace.Metrics, []int, error) {
 	coreApps, scaling, _, err := buildApps(cfg, apps, seed)
 	if err != nil {
 		return trace.Metrics{}, nil, err
@@ -201,7 +208,9 @@ func ExecutePerAppPacked(cfg platform.Config, apps []MixedApp, w core.Weights, s
 			remaining -= n
 		}
 	}
-	res, err := platform.RunMixed(cfg, platform.MixedBurst{Bins: bins, Seed: seed})
+	res, err := platform.RunMixed(cfg, platform.MixedBurst{
+		Bins: bins, Seed: seed, Recorder: rec, Label: "per-app",
+	})
 	if err != nil {
 		return trace.Metrics{}, nil, err
 	}
@@ -210,8 +219,9 @@ func ExecutePerAppPacked(cfg platform.Config, apps []MixedApp, w core.Weights, s
 
 // ExecuteJointUnpacked runs every function of every application in its own
 // instance, all in one burst — the traditional deployment of a
-// heterogeneous job.
-func ExecuteJointUnpacked(cfg platform.Config, apps []MixedApp, seed int64) (trace.Metrics, error) {
+// heterogeneous job. rec receives the burst's observability records (nil
+// disables recording).
+func ExecuteJointUnpacked(cfg platform.Config, apps []MixedApp, seed int64, rec obs.Recorder) (trace.Metrics, error) {
 	var bins []platform.Bin
 	for _, a := range apps {
 		d := a.Workload.Demand()
@@ -219,7 +229,9 @@ func ExecuteJointUnpacked(cfg platform.Config, apps []MixedApp, seed int64) (tra
 			bins = append(bins, platform.Bin{Demands: []interfere.Demand{d}})
 		}
 	}
-	res, err := platform.RunMixed(cfg, platform.MixedBurst{Bins: bins, Seed: seed})
+	res, err := platform.RunMixed(cfg, platform.MixedBurst{
+		Bins: bins, Seed: seed, Recorder: rec, Label: "unpacked",
+	})
 	if err != nil {
 		return trace.Metrics{}, err
 	}

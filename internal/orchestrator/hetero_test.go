@@ -20,11 +20,11 @@ func heteroJob() []MixedApp {
 func TestMixedProPackBeatsUnpacked(t *testing.T) {
 	cfg := platform.AWSLambda()
 	apps := heteroJob()
-	base, err := ExecuteJointUnpacked(cfg, apps, 31)
+	base, err := ExecuteJointUnpacked(cfg, apps, 31, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
-	mixed, err := RunMixedProPack(cfg, apps, core.Balanced(), 31)
+	mixed, err := RunMixedProPack(cfg, apps, core.Balanced(), 31, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -48,7 +48,7 @@ func TestMixedProPackBeatsUnpacked(t *testing.T) {
 // the planner must pick the segregated composition for this pair.
 func TestPlannerPrefersSegregationForUnequalDurations(t *testing.T) {
 	cfg := platform.AWSLambda()
-	mixed, err := RunMixedProPack(cfg, heteroJob(), core.Balanced(), 32)
+	mixed, err := RunMixedProPack(cfg, heteroJob(), core.Balanced(), 32, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -61,11 +61,11 @@ func TestPlannerPrefersSegregationForUnequalDurations(t *testing.T) {
 func TestPerAppPackedIsBetterThanUnpackedAtScale(t *testing.T) {
 	cfg := platform.AWSLambda()
 	apps := heteroJob()
-	base, err := ExecuteJointUnpacked(cfg, apps, 32)
+	base, err := ExecuteJointUnpacked(cfg, apps, 32, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
-	perApp, degrees, err := ExecutePerAppPacked(cfg, apps, core.Balanced(), 32)
+	perApp, degrees, err := ExecutePerAppPacked(cfg, apps, core.Balanced(), 32, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -88,11 +88,11 @@ func TestPerAppPackedIsBetterThanUnpackedAtScale(t *testing.T) {
 func TestPlannerAtLeastAsGoodAsPerApp(t *testing.T) {
 	cfg := platform.AWSLambda()
 	apps := heteroJob()
-	perApp, _, err := ExecutePerAppPacked(cfg, apps, core.Balanced(), 33)
+	perApp, _, err := ExecutePerAppPacked(cfg, apps, core.Balanced(), 33, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
-	planned, err := RunMixedProPack(cfg, apps, core.Balanced(), 33)
+	planned, err := RunMixedProPack(cfg, apps, core.Balanced(), 33, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -117,7 +117,7 @@ func TestMixedWinsForSimilarDurations(t *testing.T) {
 		{Workload: workload.Video{}, Count: 1000},
 		{Workload: workload.SmithWaterman{}, Count: 1000},
 	}
-	planned, err := RunMixedProPack(cfg, apps, core.ServiceOnly(), 34)
+	planned, err := RunMixedProPack(cfg, apps, core.ServiceOnly(), 34, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -125,7 +125,7 @@ func TestMixedWinsForSimilarDurations(t *testing.T) {
 		t.Fatalf("expected mixed composition for duration-matched apps, got %q", planned.Plan.Strategy)
 	}
 	// And it must beat the per-app composition on its objective.
-	perApp, _, err := ExecutePerAppPacked(cfg, apps, core.ServiceOnly(), 34)
+	perApp, _, err := ExecutePerAppPacked(cfg, apps, core.ServiceOnly(), 34, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -140,7 +140,7 @@ func TestBuildAppsValidation(t *testing.T) {
 	if _, _, _, err := buildApps(cfg, nil, 1); err == nil {
 		t.Fatal("empty app set accepted")
 	}
-	if _, err := RunMixedProPack(cfg, nil, core.Balanced(), 1); err == nil {
+	if _, err := RunMixedProPack(cfg, nil, core.Balanced(), 1, nil); err == nil {
 		t.Fatal("empty job accepted")
 	}
 }

@@ -10,6 +10,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/interfere"
+	"repro/internal/obs"
 	"repro/internal/platform"
 	"repro/internal/trace"
 )
@@ -17,11 +18,20 @@ import (
 // Execute runs C functions packed at the given degree as one concurrent
 // burst ("map state") and returns the run's metrics.
 func Execute(cfg platform.Config, d interfere.Demand, c, degree int, seed int64) (trace.Metrics, error) {
+	return ExecuteObserved(cfg, d, c, degree, seed, nil, "")
+}
+
+// ExecuteObserved is Execute with event-level observability: the burst's
+// stage spans and fault events flow into rec (nil disables recording), and
+// label names the burst in exported traces.
+func ExecuteObserved(cfg platform.Config, d interfere.Demand, c, degree int, seed int64, rec obs.Recorder, label string) (trace.Metrics, error) {
 	res, err := platform.Run(cfg, platform.Burst{
 		Demand:    d,
 		Functions: c,
 		Degree:    degree,
 		Seed:      seed,
+		Recorder:  rec,
+		Label:     label,
 	})
 	if err != nil {
 		return trace.Metrics{}, err

@@ -6,6 +6,7 @@ import (
 	"math"
 
 	"repro/internal/interfere"
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/stats"
 	"repro/internal/storage"
@@ -45,6 +46,14 @@ type Burst struct {
 	StaggerSec float64
 	// Seed drives execution-time jitter.
 	Seed int64
+
+	// Recorder receives event-level observability records (lifecycle stage
+	// spans, fault and hedge events). Nil disables observability at zero
+	// cost; see internal/obs.
+	Recorder obs.Recorder
+	// Label names the burst in exported traces ("degree-8", "unpacked");
+	// may be empty.
+	Label string
 }
 
 // Instances is the number of function instances the burst spawns:
@@ -224,6 +233,23 @@ func runControlPlane(cfg Config, b Burst, timelines []Timeline, execs []float64,
 	buildSt := sim.NewStation(eng, cfg.BuildServers)
 	shipSt := sim.NewStation(eng, cfg.ShipServers)
 
+	// Observability: a nil recorder costs only the guard checks below; with
+	// one attached we additionally track arrival and scheduler-entry times
+	// (they are not part of Timeline) to emit queued/sched spans.
+	rec := b.Recorder
+	var arrive, admitted []float64
+	if rec != nil {
+		rec.BeginBurst(obs.BurstInfo{
+			Platform: cfg.Name, Label: b.Label,
+			Functions: b.Functions, Degree: b.Degree, Instances: n,
+		})
+		arrive = make([]float64, n)
+		admitted = make([]float64, n)
+		for i := range admitted {
+			admitted[i] = -1
+		}
+	}
+
 	podSize := cfg.PodSize
 	if podSize < 1 {
 		podSize = 1
@@ -268,6 +294,9 @@ func runControlPlane(cfg Config, b Burst, timelines []Timeline, execs []float64,
 		}
 	}
 	admit := func(i int) {
+		if rec != nil {
+			arrive[i] = eng.Now()
+		}
 		if cfg.ConcurrencyLimit > 0 && running >= cfg.ConcurrencyLimit {
 			throttleQ = append(throttleQ, i)
 			return
@@ -281,6 +310,9 @@ func runControlPlane(cfg Config, b Burst, timelines []Timeline, execs []float64,
 	backoffThenResubmit := func(i, retry int) {
 		d := retryPol.Delay(retry, prevDelay[i], rng.Float64)
 		prevDelay[i] = d
+		if rec != nil {
+			rec.Event(obs.Event{Instance: i, Kind: obs.EventBackoff, AtSec: eng.Now(), DurSec: d})
+		}
 		eng.After(d, func() { submitSched(i) })
 	}
 	// failExec handles a crashed or timed-out attempt: retry within the
@@ -303,6 +335,9 @@ func runControlPlane(cfg Config, b Burst, timelines []Timeline, execs []float64,
 		if cfg.StragglerProb > 0 && rng.Float64() < cfg.StragglerProb {
 			dur *= cfg.StragglerFactor
 			timelines[i].Straggled++
+			if rec != nil {
+				rec.Event(obs.Event{Instance: i, Kind: obs.EventStraggle, AtSec: eng.Now(), DurSec: dur})
+			}
 		}
 		// Sample this attempt's crash time; the attempt fails at whichever
 		// of crash and timeout strikes first, billing the partial work.
@@ -318,6 +353,9 @@ func runControlPlane(cfg Config, b Burst, timelines []Timeline, execs []float64,
 			eng.After(crashAt, func() {
 				timelines[i].Crashes++
 				timelines[i].FailedSec += crashAt
+				if rec != nil {
+					rec.Event(obs.Event{Instance: i, Kind: obs.EventCrash, AtSec: eng.Now(), DurSec: crashAt})
+				}
 				failExec(i)
 			})
 			return
@@ -326,6 +364,9 @@ func runControlPlane(cfg Config, b Burst, timelines []Timeline, execs []float64,
 			eng.After(timeoutAt, func() {
 				timelines[i].Timeouts++
 				timelines[i].FailedSec += timeoutAt
+				if rec != nil {
+					rec.Event(obs.Event{Instance: i, Kind: obs.EventTimeout, AtSec: eng.Now(), DurSec: timeoutAt})
+				}
 				failExec(i)
 			})
 			return
@@ -346,9 +387,23 @@ func runControlPlane(cfg Config, b Burst, timelines []Timeline, execs []float64,
 			} else {
 				timelines[i].HedgeExtraSec = dur - hedgeThr
 			}
+			if rec != nil {
+				rec.Event(obs.Event{Instance: i, Kind: obs.EventHedgeLaunch, AtSec: eng.Now() + hedgeThr})
+			}
 		}
 		eng.After(end, func() {
 			timelines[i].End = eng.Now()
+			if rec != nil && timelines[i].Hedged {
+				kind := obs.EventHedgeWaste
+				if timelines[i].HedgeWon {
+					kind = obs.EventHedgeWin
+				}
+				rec.Event(obs.Event{Instance: i, Kind: kind, AtSec: eng.Now(), DurSec: timelines[i].HedgeExtraSec})
+				rec.Span(obs.Span{
+					Instance: i, Stage: obs.StageHedge,
+					StartSec: timelines[i].Start + hedgeThr, EndSec: eng.Now(),
+				})
+			}
 			release()
 		})
 	}
@@ -358,6 +413,9 @@ func runControlPlane(cfg Config, b Burst, timelines []Timeline, execs []float64,
 				// Cold start failed: back off and re-enter the scheduler
 				// (the admission slot stays held through retries).
 				timelines[i].Retries++
+				if rec != nil {
+					rec.Event(obs.Event{Instance: i, Kind: obs.EventStartRetry, AtSec: eng.Now()})
+				}
 				if !retryPol.Allow(timelines[i].Retries, eng.Now(), maxRetries) {
 					if burstErr == nil {
 						burstErr = fmt.Errorf("%w: instance %d after %d attempts",
@@ -387,6 +445,9 @@ func runControlPlane(cfg Config, b Burst, timelines []Timeline, execs []float64,
 	}
 
 	submitSched = func(i int) {
+		if rec != nil && admitted[i] < 0 {
+			admitted[i] = eng.Now()
+		}
 		sched.Submit(
 			func() float64 {
 				return cfg.SchedBaseSec + cfg.SchedPerBusySec*float64(sched.Served)
@@ -465,6 +526,9 @@ func runControlPlane(cfg Config, b Burst, timelines []Timeline, execs []float64,
 		if t.HedgeWon {
 			res.HedgesWon++
 		}
+	}
+	if rec != nil {
+		emitLifecycleSpans(rec, timelines, arrive, admitted)
 	}
 	return res, nil
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/interfere"
+	"repro/internal/obs"
 	"repro/internal/sim"
 )
 
@@ -30,6 +31,12 @@ type MixedBurst struct {
 	StaggerSec float64
 	// Seed drives execution-time jitter.
 	Seed int64
+
+	// Recorder receives event-level observability records; nil disables
+	// observability at zero cost (see internal/obs).
+	Recorder obs.Recorder
+	// Label names the burst in exported traces; may be empty.
+	Label string
 }
 
 // Functions is the total logical function count across bins.
@@ -84,7 +91,11 @@ func RunMixed(cfg Config, m MixedBurst) (*Result, error) {
 		timelines[i] = Timeline{Index: i, Degree: bin.Degree(), Warm: i < m.Warm}
 	}
 
-	pseudo := Burst{Functions: m.Functions(), Degree: 0, Warm: m.Warm, StaggerSec: m.StaggerSec, Seed: m.Seed}
+	pseudo := Burst{
+		Functions: m.Functions(), Degree: 0, Warm: m.Warm,
+		StaggerSec: m.StaggerSec, Seed: m.Seed,
+		Recorder: m.Recorder, Label: m.Label,
+	}
 	res, err := runControlPlane(cfg, pseudo, timelines, execs, rng)
 	if err != nil {
 		return nil, err

@@ -1,0 +1,41 @@
+package platform
+
+import "repro/internal/obs"
+
+// emitLifecycleSpans converts the finished timelines into per-instance
+// lifecycle stage spans, in instance order (deterministic for golden tests).
+// arrive and admitted are the recorder-only tracking arrays filled by
+// runControlPlane: arrival at the platform (t=0, or the staggered arrival)
+// and first scheduler entry (later than arrival only under account-level
+// throttling).
+//
+// The spans tile each instance's critical path exactly as
+// Result.StageBreakdown slices it: queued (arrival → scheduler),
+// sched (scheduler → placement), build, ship, and boot (ship-done →
+// execution start), then exec (start → end). Zero-length spans (warm
+// instances skip build and ship; unthrottled instances skip queued) are
+// omitted. For instances that survived start retries the sched milestone is
+// the *last* pass's placement, so the boot span absorbs the retry loops —
+// the per-attempt story is in the live fault events, not the spans.
+func emitLifecycleSpans(rec obs.Recorder, timelines []Timeline, arrive, admitted []float64) {
+	emit := func(i int, st obs.Stage, start, end float64) {
+		if end > start {
+			rec.Span(obs.Span{Instance: i, Stage: st, StartSec: start, EndSec: end})
+		}
+	}
+	for i, t := range timelines {
+		emit(i, obs.StageQueued, arrive[i], admitted[i])
+		emit(i, obs.StageSched, admitted[i], t.SchedDone)
+		emit(i, obs.StageBuild, t.SchedDone, t.BuildDone)
+		emit(i, obs.StageShip, t.BuildDone, t.ShipDone)
+		// A retried instance's last placement can postdate its pod's
+		// (unchanged) ship milestone; clamp so the boot span never starts
+		// before the work it follows.
+		bootStart := t.ShipDone
+		if t.SchedDone > bootStart {
+			bootStart = t.SchedDone
+		}
+		emit(i, obs.StageBoot, bootStart, t.Start)
+		emit(i, obs.StageExec, t.Start, t.End)
+	}
+}

@@ -96,6 +96,28 @@ func (b Backoff) Validate() error {
 // substitute their legacy defaults.
 func (b Backoff) IsZero() bool { return b == Backoff{} }
 
+// String renders the policy compactly for logs: kind, base/cap, growth
+// factor, and budgets. The zero policy reads "none".
+func (b Backoff) String() string {
+	if b.IsZero() {
+		return "none"
+	}
+	s := fmt.Sprintf("%s base=%gs", b.Kind, b.BaseSec)
+	if b.CapSec > 0 {
+		s += fmt.Sprintf(" cap=%gs", b.CapSec)
+	}
+	if b.Kind == Exponential && b.Factor != 0 {
+		s += fmt.Sprintf(" factor=%g", b.Factor)
+	}
+	if b.MaxAttempts > 0 {
+		s += fmt.Sprintf(" attempts=%d", b.MaxAttempts)
+	}
+	if b.MaxElapsedSec > 0 {
+		s += fmt.Sprintf(" elapsed=%gs", b.MaxElapsedSec)
+	}
+	return s
+}
+
 // Delay returns the wait before retry number `retry` (1-based). prevSec is
 // the previous delay (used by Decorrelated; pass 0 on the first retry) and
 // uniform samples [0,1) — it is only consulted by Decorrelated, so Fixed and
@@ -164,6 +186,19 @@ type Hedge struct {
 
 // Enabled reports whether the policy hedges at all.
 func (h Hedge) Enabled() bool { return h.Quantile > 0 }
+
+// String renders the policy compactly for logs; a disabled policy reads
+// "off".
+func (h Hedge) String() string {
+	if !h.Enabled() {
+		return "off"
+	}
+	s := fmt.Sprintf("p%g", h.Quantile)
+	if h.MinDelaySec > 0 {
+		s += fmt.Sprintf(" min=%gs", h.MinDelaySec)
+	}
+	return s
+}
 
 // Validate reports an error for malformed policies.
 func (h Hedge) Validate() error {

@@ -3,8 +3,10 @@
 package trace
 
 import (
+	"encoding/json"
 	"fmt"
 	"io"
+	"math"
 	"strings"
 
 	"repro/internal/platform"
@@ -14,27 +16,27 @@ import (
 // time; total, tail (95th percentile), and median service times; expense;
 // and function-hours of consumed compute.
 type Metrics struct {
-	Platform      string
-	Degree        int
-	Instances     int
-	ScalingTime   float64 // seconds
-	TotalService  float64 // seconds
-	TailService   float64 // seconds, first 95% of instances done
-	MedianService float64 // seconds, first 50% of instances done
-	ExpenseUSD    float64
-	FunctionHours float64
-	MeanExecSec   float64
+	Platform      string  `json:"platform"`
+	Degree        int     `json:"degree"`
+	Instances     int     `json:"instances"`
+	ScalingTime   float64 `json:"scaling_time_sec"`
+	TotalService  float64 `json:"total_service_sec"`
+	TailService   float64 `json:"tail_service_sec"`   // first 95% of instances done
+	MedianService float64 `json:"median_service_sec"` // first 50% of instances done
+	ExpenseUSD    float64 `json:"expense_usd"`
+	FunctionHours float64 `json:"function_hours"`
+	MeanExecSec   float64 `json:"mean_exec_sec"`
 
 	// Fault-tolerance counters (failure injection, retries, hedging).
 	// All zero on a clean run.
-	Retries        int     // cold-start re-submissions
-	Crashes        int     // mid-execution crashes retried
-	Timeouts       int     // execution-timeout kills retried
-	HedgesLaunched int     // speculative duplicates started
-	HedgesWon      int     // duplicates that finished first
-	HedgesWasted   int     // duplicates the primary beat
-	FailedSec      float64 // billed execution seconds of failed attempts
-	WastedUSD      float64 // dollars spent on work that produced no results
+	Retries        int     `json:"retries"`         // cold-start re-submissions
+	Crashes        int     `json:"crashes"`         // mid-execution crashes retried
+	Timeouts       int     `json:"timeouts"`        // execution-timeout kills retried
+	HedgesLaunched int     `json:"hedges_launched"` // speculative duplicates started
+	HedgesWon      int     `json:"hedges_won"`      // duplicates that finished first
+	HedgesWasted   int     `json:"hedges_wasted"`   // duplicates the primary beat
+	FailedSec      float64 `json:"failed_sec"`      // billed execution seconds of failed attempts
+	WastedUSD      float64 `json:"wasted_usd"`      // dollars spent on work that produced no results
 }
 
 // FromResult extracts Metrics from a simulated burst.
@@ -67,11 +69,26 @@ func FromResult(r *platform.Result) Metrics {
 
 // Improvement returns the percentage improvement of got over base for a
 // lower-is-better metric: 100·(1 − got/base). Negative means regression.
+// A zero base makes the ratio meaningless, so it yields NaN — render it as
+// "n/a", never as a real percentage (it used to read as a misleading 0%).
 func Improvement(base, got float64) float64 {
 	if base == 0 {
-		return 0
+		return math.NaN()
 	}
 	return 100 * (1 - got/base)
+}
+
+// WriteMetricsJSON writes the metrics as one JSON object on a single line
+// (JSON-lines friendly: `propack run -json | jq .` and appending sweep rows
+// both work).
+func WriteMetricsJSON(w io.Writer, m Metrics) error {
+	b, err := json.Marshal(m)
+	if err != nil {
+		return err
+	}
+	b = append(b, '\n')
+	_, err = w.Write(b)
+	return err
 }
 
 // Table is a rectangular experiment result ready to print: one row per

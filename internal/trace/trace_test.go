@@ -37,8 +37,8 @@ func TestImprovement(t *testing.T) {
 	if got := Improvement(100, 120); math.Abs(got+20) > 1e-12 {
 		t.Fatalf("regression should be negative: %g", got)
 	}
-	if Improvement(0, 5) != 0 {
-		t.Fatal("zero base should yield 0")
+	if got := Improvement(0, 5); !math.IsNaN(got) {
+		t.Fatalf("zero base should yield NaN, got %g", got)
 	}
 }
 
@@ -83,6 +83,63 @@ func TestTableRowWidthMismatchPanics(t *testing.T) {
 		}
 	}()
 	tb.AddRow("only-one")
+}
+
+func TestTableCSVQuotesNewlines(t *testing.T) {
+	tb := Table{Header: []string{"a", "b"}}
+	tb.AddRow("line1\nline2", "plain")
+	var b strings.Builder
+	if err := tb.FprintCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := "a,b\n\"line1\nline2\",plain\n"
+	if b.String() != want {
+		t.Fatalf("CSV got %q want %q", b.String(), want)
+	}
+}
+
+func TestTableAddRowfMismatchPanics(t *testing.T) {
+	tb := Table{Header: []string{"a", "b", "c"}}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("AddRowf with too few tab-separated fields accepted")
+		}
+	}()
+	tb.AddRowf("%s\t%.1f", "x", 1.0) // 2 cells against a 3-column header
+}
+
+func TestTableAlignsUnicodeCells(t *testing.T) {
+	// Width accounting is per rune, not per byte: a multi-byte cell must
+	// not shift the columns after it.
+	tb := Table{Header: []string{"app", "val"}}
+	tb.AddRow("héllo", "1")
+	tb.AddRow("world", "2")
+	var b strings.Builder
+	if err := tb.Fprint(&b); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(b.String()), "\n")
+	runeCol := func(s, sub string) int { return len([]rune(s[:strings.Index(s, sub)])) }
+	col := runeCol(lines[2], "1")
+	if got := runeCol(lines[3], "2"); got != col {
+		t.Fatalf("value column drifted: %d vs %d\n%s", got, col, b.String())
+	}
+}
+
+func TestWriteMetricsJSON(t *testing.T) {
+	var b strings.Builder
+	if err := WriteMetricsJSON(&b, Metrics{Platform: "AWS Lambda", Degree: 3, ExpenseUSD: 1.5}); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.HasSuffix(out, "\n") || strings.Count(out, "\n") != 1 {
+		t.Fatalf("want exactly one JSON line, got %q", out)
+	}
+	for _, want := range []string{`"platform":"AWS Lambda"`, `"degree":3`, `"expense_usd":1.5`} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("JSON missing %s: %s", want, out)
+		}
+	}
 }
 
 func TestWriteTimelinesCSV(t *testing.T) {
