@@ -235,3 +235,35 @@ func BenchmarkLocalPacking(b *testing.B) {
 		})
 	}
 }
+
+// --- Parallel sweep engine benches ------------------------------------------
+//
+// BenchmarkSweepSequential vs BenchmarkSweepParallel measure the speedup of
+// the deterministic fan-out engine on an identical exhaustive degree sweep
+// (the outputs are byte-identical by construction — the determinism tests in
+// internal/baseline enforce it). The parallel variant uses GOMAXPROCS
+// workers, so the speedup scales with the host's core count; REPORT.md
+// records the measured ratio.
+
+func benchSweep(b *testing.B, workers int) {
+	b.Helper()
+	cfg := platform.AWSLambda()
+	d := VideoWorkload().Demand()
+	const c = 2000
+	maxDeg := cfg.Shape.MaxDegree(d)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		all, err := baseline.SweepWithOptions(cfg, d, c, 1, maxDeg,
+			baseline.SweepOptions{Workers: workers})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(all) == 0 {
+			b.Fatal("empty sweep")
+		}
+	}
+}
+
+func BenchmarkSweepSequential(b *testing.B) { benchSweep(b, 1) }
+func BenchmarkSweepParallel(b *testing.B)   { benchSweep(b, 0) }

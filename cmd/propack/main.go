@@ -13,6 +13,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -22,7 +23,9 @@ import (
 	"repro/internal/core"
 	"repro/internal/funcx"
 	"repro/internal/localfaas"
+	"repro/internal/obs"
 	"repro/internal/orchestrator"
+	"repro/internal/parallel"
 	"repro/internal/platform"
 	"repro/internal/resilience"
 	"repro/internal/trace"
@@ -345,6 +348,7 @@ func cmdSweep(args []string) error {
 	c := fs.Int("c", 2000, "concurrency level")
 	jsonOut := fs.Bool("json", false, "emit one JSON line of metrics per degree on stdout")
 	seed := fs.Int64("seed", 1, "simulation seed")
+	workers := fs.Int("workers", 0, "parallel workers over packing degrees (0 = GOMAXPROCS, 1 = sequential; output is identical for any value)")
 	setupObs := obsFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -361,7 +365,8 @@ func cmdSweep(args []string) error {
 	if err != nil {
 		return err
 	}
-	all, err := baseline.SweepObserved(cfg, w.Demand(), *c, *seed, cfg.Shape.MaxDegree(w.Demand()), sink.Rec)
+	all, err := baseline.SweepWithOptions(cfg, w.Demand(), *c, *seed, cfg.Shape.MaxDegree(w.Demand()),
+		baseline.SweepOptions{Workers: *workers, Recorder: sink.Rec})
 	if err != nil {
 		sink.Close()
 		return err
@@ -442,6 +447,7 @@ func cmdHetero(args []string) error {
 	plat := fs.String("platform", "aws", "platform: aws, google, azure, funcx")
 	ws := fs.Float64("ws", 0.5, "service-time weight W_S")
 	seed := fs.Int64("seed", 1, "simulation seed")
+	workers := fs.Int("workers", 0, "parallel workers over the three deployments (0 = GOMAXPROCS, 1 = sequential; output is identical for any value)")
 	setupObs := obsFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -469,18 +475,40 @@ func cmdHetero(args []string) error {
 	}
 	defer sink.Close()
 
-	base, err := orchestrator.ExecuteJointUnpacked(cfg, apps, *seed, sink.Rec)
+	// The three deployments are independent simulations, so they fan out in
+	// parallel; each records into its own tape, replayed in deployment order
+	// so the observability stream is byte-identical to a sequential run.
+	type heteroOut struct {
+		m       trace.Metrics
+		degrees []int
+		run     orchestrator.MixedRun
+		tape    *obs.Tape
+	}
+	outs, err := parallel.Map(context.Background(), 3, func(_ context.Context, i int) (heteroOut, error) {
+		var o heteroOut
+		var rec obs.Recorder
+		if sink.Rec != nil {
+			o.tape = &obs.Tape{}
+			rec = o.tape
+		}
+		var err error
+		switch i {
+		case 0:
+			o.m, err = orchestrator.ExecuteJointUnpacked(cfg, apps, *seed, rec)
+		case 1:
+			o.m, o.degrees, err = orchestrator.ExecutePerAppPacked(cfg, apps, weights, *seed, rec)
+		default:
+			o.run, err = orchestrator.RunMixedProPack(cfg, apps, weights, *seed, rec)
+		}
+		return o, err
+	}, parallel.Workers(*workers))
 	if err != nil {
 		return err
 	}
-	perApp, degrees, err := orchestrator.ExecutePerAppPacked(cfg, apps, weights, *seed, sink.Rec)
-	if err != nil {
-		return err
+	for _, o := range outs {
+		o.tape.Replay(sink.Rec)
 	}
-	run, err := orchestrator.RunMixedProPack(cfg, apps, weights, *seed, sink.Rec)
-	if err != nil {
-		return err
-	}
+	base, perApp, degrees, run := outs[0].m, outs[1].m, outs[1].degrees, outs[2].run
 	fmt.Printf("job: %d × %s + %d × %s on %s\n\n", *countA, wa.Name(), *countB, wb.Name(), cfg.Name)
 	fmt.Printf("%-28s %10s %12s %10s\n", "deployment", "instances", "service", "expense")
 	rowOut := func(name string, inst int, m trace.Metrics) {

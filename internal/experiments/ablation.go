@@ -22,6 +22,11 @@ import (
 //  3. Eq. 1 with the paper-exact zero intercept vs a fitted intercept;
 //  4. packing vs the rejected alternatives (serial batching, staggering,
 //     Pywren-style reuse).
+//
+// Each sub-ablation fans its variants out with cfg.Workers and appends the
+// resulting rows in variant order; a variant that needs a SimMeasurer owns
+// its own instance (the measurer's probe counter is mutable state, so one
+// is never shared across parallel cells).
 func Ablation(cfg Config) (*trace.Table, error) {
 	t := &trace.Table{
 		Title:  "Ablations of ProPack's design choices",
@@ -29,20 +34,20 @@ func Ablation(cfg Config) (*trace.Table, error) {
 	}
 	p := platform.AWSLambda()
 	w := workload.Video{}
-	if err := ablateSampling(cfg, t, p, w); err != nil {
-		return nil, err
-	}
-	if err := ablateScalingOrder(cfg, t, p); err != nil {
-		return nil, err
-	}
-	if err := ablateIntercept(cfg, t, p, w); err != nil {
-		return nil, err
-	}
-	if err := ablateAlternatives(cfg, t, p, w); err != nil {
-		return nil, err
-	}
-	if err := ablateInstanceSize(cfg, t); err != nil {
-		return nil, err
+	for _, part := range []func() ([][]string, error){
+		func() ([][]string, error) { return ablateSampling(cfg, p, w) },
+		func() ([][]string, error) { return ablateScalingOrder(cfg, p) },
+		func() ([][]string, error) { return ablateIntercept(cfg, p, w) },
+		func() ([][]string, error) { return ablateAlternatives(cfg, p, w) },
+		func() ([][]string, error) { return ablateInstanceSize(cfg) },
+	} {
+		rows, err := part()
+		if err != nil {
+			return nil, err
+		}
+		for _, r := range rows {
+			t.AddRow(r...)
+		}
 	}
 	return t, nil
 }
@@ -53,36 +58,39 @@ func Ablation(cfg Config) (*trace.Table, error) {
 // the top concurrency. Larger instances permit deeper packing and thus
 // fewer instances; at high concurrency that dominates, confirming the
 // paper's choice.
-func ablateInstanceSize(cfg Config, t *trace.Table) error {
+func ablateInstanceSize(cfg Config) ([][]string, error) {
 	w := workload.Video{}
 	c := cfg.topConcurrency()
-	for _, mb := range []float64{3584, 7168, 10240} {
+	sizes := []float64{3584, 7168, 10240}
+	return forAll(cfg, len(sizes), func(i int) ([]string, error) {
+		mb := sizes[i]
 		p, err := platform.AWSLambda().WithMemory(mb)
 		if err != nil {
-			return err
+			return nil, err
 		}
 		run, err := orchestrator.RunProPack(p, w.Demand(), c, core.Balanced(), cfg.Seed)
 		if err != nil {
-			return err
+			return nil, err
 		}
 		got := run.MetricsWithOverhead()
-		t.AddRow("instance size", fmt.Sprintf("%.0f MB / %d vCPU", mb, p.Shape.Cores),
+		return []string{"instance size", fmt.Sprintf("%.0f MB / %d vCPU", mb, p.Shape.Cores),
 			fmt.Sprintf("degree %d, %d inst", run.Plan.Degree, got.Instances),
-			fmt.Sprintf("service %.0fs, expense $%.2f", got.TotalService, got.ExpenseUSD))
-	}
-	return nil
+			fmt.Sprintf("service %.0fs, expense $%.2f", got.TotalService, got.ExpenseUSD)}, nil
+	})
 }
 
 // ablateSampling compares the alternate-point profile against the full
 // sweep: probe seconds spent vs mean model error over all degrees.
-func ablateSampling(cfg Config, t *trace.Table, p platform.Config, w workload.Workload) error {
-	for _, full := range []bool{false, true} {
+func ablateSampling(cfg Config, p platform.Config, w workload.Workload) ([][]string, error) {
+	variants := []bool{false, true}
+	return forAll(cfg, len(variants), func(i int) ([]string, error) {
+		full := variants[i]
 		meas := &core.SimMeasurer{Config: p, Demand: w.Demand(), Seed: cfg.Seed}
 		opts := core.ProfileOptionsFor(p, w.Demand())
 		opts.FullSweep = full
 		models, _, _, ov, err := core.BuildModels(meas, opts)
 		if err != nil {
-			return err
+			return nil, err
 		}
 		// Evaluate against the true curve at every feasible degree.
 		var errSum float64
@@ -99,55 +107,60 @@ func ablateSampling(cfg Config, t *trace.Table, p platform.Config, w workload.Wo
 		if full {
 			name = "full sweep"
 		}
-		t.AddRow("sampling", name,
+		return []string{"sampling", name,
 			fmt.Sprintf("%.0f probe-sec", ov.ExecProbeSec),
-			fmt.Sprintf("mean ET error %.2f%%", 100*errSum/float64(n)))
-	}
-	return nil
+			fmt.Sprintf("mean ET error %.2f%%", 100*errSum/float64(n))}, nil
+	})
 }
 
 // ablateScalingOrder fits polynomials of order 1–3 to the scaling probes
-// and reports extrapolation error at the top concurrency.
-func ablateScalingOrder(cfg Config, t *trace.Table, p platform.Config) error {
+// and reports extrapolation error at the top concurrency. MeasureScaling is
+// stateless, so the probes fan out in parallel; the fits are cheap and stay
+// sequential.
+func ablateScalingOrder(cfg Config, p platform.Config) ([][]string, error) {
 	meas := &core.SimMeasurer{Config: p, Demand: workload.Video{}.Demand(), Seed: cfg.Seed}
 	probes := []int{100, 250, 500, 1000, 1500, 2000, 3000}
 	holdout := cfg.topConcurrency()
-	var xs, ys []float64
-	for _, c := range probes {
-		s, err := meas.MeasureScaling(c)
-		if err != nil {
-			return err
+	ys, err := forAll(cfg, len(probes)+1, func(i int) (float64, error) {
+		if i == len(probes) {
+			return meas.MeasureScaling(holdout)
 		}
-		xs = append(xs, float64(c))
-		ys = append(ys, s)
-	}
-	truth, err := meas.MeasureScaling(holdout)
+		return meas.MeasureScaling(probes[i])
+	})
 	if err != nil {
-		return err
+		return nil, err
 	}
+	truth := ys[len(probes)]
+	xs := make([]float64, len(probes))
+	for i, c := range probes {
+		xs[i] = float64(c)
+	}
+	var out [][]string
 	for order := 1; order <= 3; order++ {
-		poly, err := stats.PolyFit(xs, ys, order)
+		poly, err := stats.PolyFit(xs, ys[:len(probes)], order)
 		if err != nil {
-			return err
+			return nil, err
 		}
 		pred := poly.At(float64(holdout))
-		t.AddRow("scaling model", fmt.Sprintf("order-%d polynomial", order),
+		out = append(out, []string{"scaling model", fmt.Sprintf("order-%d polynomial", order),
 			fmt.Sprintf("%d probes", len(probes)),
-			fmt.Sprintf("extrapolation error at C=%d: %.1f%%", holdout, 100*math.Abs(pred-truth)/truth))
+			fmt.Sprintf("extrapolation error at C=%d: %.1f%%", holdout, 100*math.Abs(pred-truth)/truth)})
 	}
-	return nil
+	return out, nil
 }
 
 // ablateIntercept compares the paper-exact Eq. 1 (zero intercept) against
 // the fitted-intercept variant on prediction error.
-func ablateIntercept(cfg Config, t *trace.Table, p platform.Config, w workload.Workload) error {
-	for _, exact := range []bool{true, false} {
+func ablateIntercept(cfg Config, p platform.Config, w workload.Workload) ([][]string, error) {
+	variants := []bool{true, false}
+	return forAll(cfg, len(variants), func(i int) ([]string, error) {
+		exact := variants[i]
 		meas := &core.SimMeasurer{Config: p, Demand: w.Demand(), Seed: cfg.Seed}
 		opts := core.ProfileOptionsFor(p, w.Demand())
 		opts.FitET = core.FitETOptions{PaperExact: exact}
 		models, samples, _, _, err := core.BuildModels(meas, opts)
 		if err != nil {
-			return err
+			return nil, err
 		}
 		var errSum float64
 		for _, s := range samples {
@@ -157,43 +170,46 @@ func ablateIntercept(cfg Config, t *trace.Table, p platform.Config, w workload.W
 		if exact {
 			name = "paper-exact (no intercept)"
 		}
-		t.AddRow("Eq. 1 form", name, fmt.Sprintf("%d samples", len(samples)),
-			fmt.Sprintf("mean ET error %.2f%%", 100*errSum/float64(len(samples))))
-	}
-	return nil
+		return []string{"Eq. 1 form", name, fmt.Sprintf("%d samples", len(samples)),
+			fmt.Sprintf("mean ET error %.2f%%", 100*errSum/float64(len(samples)))}, nil
+	})
 }
 
 // ablateAlternatives runs the latency-hiding alternatives the paper
 // rejects next to ProPack at the top concurrency.
-func ablateAlternatives(cfg Config, t *trace.Table, p platform.Config, w workload.Workload) error {
+func ablateAlternatives(cfg Config, p platform.Config, w workload.Workload) ([][]string, error) {
 	c := cfg.topConcurrency()
 	base, err := orchestrator.Execute(p, w.Demand(), c, 1, cfg.Seed)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	strategies := []baseline.Strategy{
 		baseline.SerialBatching{BatchSize: 250},
 		baseline.Staggered{DelaySec: 0.2},
 		baseline.Pywren{},
 	}
-	for _, s := range strategies {
+	out, err := forAll(cfg, len(strategies), func(i int) ([]string, error) {
+		s := strategies[i]
 		m, err := s.Execute(p, w.Demand(), c, cfg.Seed)
 		if err != nil {
-			return err
+			return nil, err
 		}
-		t.AddRow("alternatives", s.Name(), fmt.Sprintf("C=%d", c),
+		return []string{"alternatives", s.Name(), fmt.Sprintf("C=%d", c),
 			fmt.Sprintf("service %s, expense %s",
 				spct(trace.Improvement(base.TotalService, m.TotalService)),
-				spct(trace.Improvement(base.ExpenseUSD, m.ExpenseUSD))))
+				spct(trace.Improvement(base.ExpenseUSD, m.ExpenseUSD)))}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	run, err := orchestrator.RunProPack(p, w.Demand(), c, core.Balanced(), cfg.Seed)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	got := run.MetricsWithOverhead()
-	t.AddRow("alternatives", "ProPack", fmt.Sprintf("C=%d", c),
+	out = append(out, []string{"alternatives", "ProPack", fmt.Sprintf("C=%d", c),
 		fmt.Sprintf("service %s, expense %s",
 			spct(trace.Improvement(base.TotalService, got.TotalService)),
-			spct(trace.Improvement(base.ExpenseUSD, got.ExpenseUSD))))
-	return nil
+			spct(trace.Improvement(base.ExpenseUSD, got.ExpenseUSD)))})
+	return out, nil
 }

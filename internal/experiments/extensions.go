@@ -39,27 +39,36 @@ func ExtHetero(cfg Config) (*trace.Table, error) {
 			{Workload: workload.StatelessCost{}, Count: count},
 		}},
 	}
-	for _, job := range jobs {
+	rows, err := forAll(cfg, len(jobs), func(i int) ([][]string, error) {
+		job := jobs[i]
 		base, err := orchestrator.ExecuteJointUnpacked(p, job.apps, cfg.Seed, nil)
 		if err != nil {
 			return nil, err
 		}
-		t.AddRow(job.name, "unpacked", itoa(base.Instances),
-			sec(base.TotalService), usd(base.ExpenseUSD))
-
 		perApp, degrees, err := orchestrator.ExecutePerAppPacked(p, job.apps, core.Balanced(), cfg.Seed, nil)
 		if err != nil {
 			return nil, err
 		}
-		t.AddRow(job.name, fmt.Sprintf("per-app ProPack (degrees %v)", degrees),
-			itoa(perApp.Instances), sec(perApp.TotalService), usd(perApp.ExpenseUSD))
-
 		mixed, err := orchestrator.RunMixedProPack(p, job.apps, core.Balanced(), cfg.Seed, nil)
 		if err != nil {
 			return nil, err
 		}
-		t.AddRow(job.name, fmt.Sprintf("hetero planner (%s)", mixed.Plan.Strategy),
-			itoa(mixed.Plan.Instances()), sec(mixed.Metrics.TotalService), usd(mixed.Metrics.ExpenseUSD))
+		return [][]string{
+			{job.name, "unpacked", itoa(base.Instances),
+				sec(base.TotalService), usd(base.ExpenseUSD)},
+			{job.name, fmt.Sprintf("per-app ProPack (degrees %v)", degrees),
+				itoa(perApp.Instances), sec(perApp.TotalService), usd(perApp.ExpenseUSD)},
+			{job.name, fmt.Sprintf("hetero planner (%s)", mixed.Plan.Strategy),
+				itoa(mixed.Plan.Instances()), sec(mixed.Metrics.TotalService), usd(mixed.Metrics.ExpenseUSD)},
+		}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, jobRows := range rows {
+		for _, r := range jobRows {
+			t.AddRow(r...)
+		}
 	}
 	return t, nil
 }
@@ -75,7 +84,9 @@ func ExtProvider(cfg Config) (*trace.Table, error) {
 	}
 	w := workload.Video{}
 	c := cfg.topConcurrency()
-	for _, speedup := range []float64{1, 2, 4, 10} {
+	speedups := []float64{1, 2, 4, 10}
+	rows, err := forAll(cfg, len(speedups), func(i int) ([]string, error) {
+		speedup := speedups[i]
 		// Mitigation applies across the control plane: placement search,
 		// image builds, and shipping all speed up together.
 		p := platform.AWSLambda()
@@ -94,9 +105,15 @@ func ExtProvider(cfg Config) (*trace.Table, error) {
 			return nil, err
 		}
 		got := run.MetricsWithOverhead()
-		t.AddRow(fmt.Sprintf("×%.0f", speedup), sec(base.ScalingTime), itoa(run.Plan.Degree),
+		return []string{fmt.Sprintf("×%.0f", speedup), sec(base.ScalingTime), itoa(run.Plan.Degree),
 			pct(trace.Improvement(base.TotalService, got.TotalService)),
-			pct(trace.Improvement(base.ExpenseUSD, got.ExpenseUSD)))
+			pct(trace.Improvement(base.ExpenseUSD, got.ExpenseUSD))}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, r := range rows {
+		t.AddRow(r...)
 	}
 	return t, nil
 }
@@ -113,7 +130,9 @@ func ExtThrottle(cfg Config) (*trace.Table, error) {
 	}
 	w := workload.Video{}
 	c := cfg.topConcurrency()
-	for _, limit := range []int{0, 500, 250} {
+	limits := []int{0, 500, 250}
+	rows, err := forAll(cfg, len(limits), func(i int) ([][]string, error) {
+		limit := limits[i]
 		p := platform.AWSLambda()
 		p.ConcurrencyLimit = limit
 		label := "unlimited"
@@ -124,14 +143,14 @@ func ExtThrottle(cfg Config) (*trace.Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		t.AddRow(label, "no packing", itoa(base.Instances), sec(base.TotalService), usd(base.ExpenseUSD))
+		out := [][]string{{label, "no packing", itoa(base.Instances), sec(base.TotalService), usd(base.ExpenseUSD)}}
 		run, err := orchestrator.RunProPack(p, w.Demand(), c, core.Balanced(), cfg.Seed)
 		if err != nil {
 			return nil, err
 		}
 		got := run.MetricsWithOverhead()
-		t.AddRow(label, fmt.Sprintf("ProPack (degree %d)", run.Plan.Degree),
-			itoa(got.Instances), sec(got.TotalService), usd(got.ExpenseUSD))
+		out = append(out, []string{label, fmt.Sprintf("ProPack (degree %d)", run.Plan.Degree),
+			itoa(got.Instances), sec(got.TotalService), usd(got.ExpenseUSD)})
 		if limit > 0 && run.Plan.Degree*limit < c {
 			// The stock plan still exceeds the limit; the limit-aware
 			// variant packs deeper so the burst never throttles.
@@ -143,8 +162,17 @@ func ExtThrottle(cfg Config) (*trace.Table, error) {
 			if err != nil {
 				return nil, err
 			}
-			t.AddRow(label, fmt.Sprintf("ProPack limit-aware (degree %d)", deg),
-				itoa(aware.Instances), sec(aware.TotalService), usd(aware.ExpenseUSD))
+			out = append(out, []string{label, fmt.Sprintf("ProPack limit-aware (degree %d)", deg),
+				itoa(aware.Instances), sec(aware.TotalService), usd(aware.ExpenseUSD)})
+		}
+		return out, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, limitRows := range rows {
+		for _, r := range limitRows {
+			t.AddRow(r...)
 		}
 	}
 	return t, nil
@@ -165,7 +193,9 @@ func ExtDecentral(cfg Config) (*trace.Table, error) {
 	}
 	w := workload.Video{}
 	c := cfg.topConcurrency()
-	for _, shards := range []int{1, 2, 4, 8} {
+	shardCounts := []int{1, 2, 4, 8}
+	rows, err := forAll(cfg, len(shardCounts), func(i int) ([]string, error) {
+		shards := shardCounts[i]
 		p := platform.AWSLambda()
 		p.SchedServers = shards
 		// Coordination is not free: each placement pays for keeping S
@@ -180,9 +210,15 @@ func ExtDecentral(cfg Config) (*trace.Table, error) {
 			return nil, err
 		}
 		got := run.MetricsWithOverhead()
-		t.AddRow(itoa(shards), sec(base.ScalingTime), sec(base.TotalService),
+		return []string{itoa(shards), sec(base.ScalingTime), sec(base.TotalService),
 			itoa(run.Plan.Degree), sec(got.TotalService),
-			pct(trace.Improvement(base.TotalService, got.TotalService)))
+			pct(trace.Improvement(base.TotalService, got.TotalService))}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, r := range rows {
+		t.AddRow(r...)
 	}
 	return t, nil
 }
@@ -211,20 +247,29 @@ func ExtAmortize(cfg Config) (*trace.Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	// …then reuse the cached models for every subsequent job.
+	// …then reuse the cached models for every subsequent job. Each job's
+	// seed depends only on its index, so the stream fans out in parallel
+	// and the cumulative sums fold in job order.
 	jobs := []int{1, 5, 20, 100}
 	if cfg.Quick {
 		jobs = []int{1, 5, 20}
+	}
+	total := jobs[len(jobs)-1]
+	expenses, err := forAll(cfg, total, func(i int) (float64, error) {
+		m, err := orchestrator.Execute(p, w.Demand(), c, deg, cfg.Seed+int64(i))
+		if err != nil {
+			return 0, err
+		}
+		return m.ExpenseUSD, nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	var spent float64
 	done := 0
 	for _, target := range jobs {
 		for done < target {
-			m, err := orchestrator.Execute(p, w.Demand(), c, deg, cfg.Seed+int64(done))
-			if err != nil {
-				return nil, err
-			}
-			spent += m.ExpenseUSD
+			spent += expenses[done]
 			done++
 		}
 		ov := overhead.TotalUSD()

@@ -21,7 +21,9 @@ func Fig17(cfg Config) (*trace.Table, error) {
 	}
 	p := platform.AWSLambda()
 	w := workload.SmithWaterman{}
-	for _, c := range cfg.concurrencies() {
+	cs := cfg.concurrencies()
+	rows, err := forAll(cfg, len(cs), func(i int) ([]string, error) {
+		c := cs[i]
 		run, err := orchestrator.RunProPack(p, w.Demand(), c, core.Balanced(), cfg.Seed)
 		if err != nil {
 			return nil, err
@@ -31,10 +33,16 @@ func Fig17(cfg Config) (*trace.Table, error) {
 			return nil, err
 		}
 		got := run.MetricsWithOverhead()
-		t.AddRow(itoa(c), itoa(run.Plan.Degree),
+		return []string{itoa(c), itoa(run.Plan.Degree),
 			pct(trace.Improvement(base.TotalService, got.TotalService)),
 			pct(trace.Improvement(base.ScalingTime, got.ScalingTime)),
-			pct(trace.Improvement(base.ExpenseUSD, got.ExpenseUSD)))
+			pct(trace.Improvement(base.ExpenseUSD, got.ExpenseUSD))}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, r := range rows {
+		t.AddRow(r...)
 	}
 	return t, nil
 }
@@ -51,7 +59,9 @@ func Fig18(cfg Config) (*trace.Table, error) {
 	aws := platform.AWSLambda()
 	fx := funcx.Config()
 	d := workload.Video{}.Demand()
-	for _, c := range cfg.concurrencies() {
+	cs := cfg.concurrencies()
+	rows, err := forAll(cfg, len(cs), func(i int) ([]string, error) {
+		c := cs[i]
 		baseA, err := platform.Run(aws, platform.Burst{Demand: d, Functions: c, Degree: 1, Seed: cfg.Seed})
 		if err != nil {
 			return nil, err
@@ -68,10 +78,16 @@ func Fig18(cfg Config) (*trace.Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		t.AddRow(itoa(c),
+		return []string{itoa(c),
 			sec(baseA.ScalingTime()), sec(baseF.ScalingTime()),
 			pct(trace.Improvement(baseA.ScalingTime(), baseF.ScalingTime())),
-			sec(runA.Metrics.TotalService), sec(runF.Metrics.TotalService))
+			sec(runA.Metrics.TotalService), sec(runF.Metrics.TotalService)}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, r := range rows {
+		t.AddRow(r...)
 	}
 	return t, nil
 }
@@ -87,23 +103,30 @@ func Fig19(cfg Config) (*trace.Table, error) {
 	}
 	p := platform.AWSLambda()
 	py := baseline.Pywren{}
-	for _, w := range workload.Motivation() {
-		for _, c := range cfg.concurrencies() {
-			pm, err := py.Execute(p, w.Demand(), c, cfg.Seed)
-			if err != nil {
-				return nil, err
-			}
-			run, err := orchestrator.RunProPack(p, w.Demand(), c, core.Balanced(), cfg.Seed)
-			if err != nil {
-				return nil, err
-			}
-			got := run.MetricsWithOverhead()
-			t.AddRow(w.Name(), itoa(c),
-				sec(pm.TotalService), sec(got.TotalService),
-				pct(trace.Improvement(pm.TotalService, got.TotalService)),
-				usd(pm.ExpenseUSD), usd(got.ExpenseUSD),
-				pct(trace.Improvement(pm.ExpenseUSD, got.ExpenseUSD)))
+	apps := workload.Motivation()
+	cs := cfg.concurrencies()
+	rows, err := forAll(cfg, len(apps)*len(cs), func(i int) ([]string, error) {
+		w, c := apps[i/len(cs)], cs[i%len(cs)]
+		pm, err := py.Execute(p, w.Demand(), c, cfg.Seed)
+		if err != nil {
+			return nil, err
 		}
+		run, err := orchestrator.RunProPack(p, w.Demand(), c, core.Balanced(), cfg.Seed)
+		if err != nil {
+			return nil, err
+		}
+		got := run.MetricsWithOverhead()
+		return []string{w.Name(), itoa(c),
+			sec(pm.TotalService), sec(got.TotalService),
+			pct(trace.Improvement(pm.TotalService, got.TotalService)),
+			usd(pm.ExpenseUSD), usd(got.ExpenseUSD),
+			pct(trace.Improvement(pm.ExpenseUSD, got.ExpenseUSD))}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, r := range rows {
+		t.AddRow(r...)
 	}
 	return t, nil
 }
@@ -129,14 +152,16 @@ func Fig20(cfg Config) (*trace.Table, error) {
 		return nil, err
 	}
 	// (a) the three standing objectives.
-	for _, row := range []struct {
+	objectives := []struct {
 		name string
 		w    core.Weights
 	}{
 		{"service-only", core.ServiceOnly()},
 		{"joint", core.Balanced()},
 		{"expense-only", core.ExpenseOnly()},
-	} {
+	}
+	rows, err := forAll(cfg, len(objectives), func(i int) ([]string, error) {
+		row := objectives[i]
 		deg, err := models.OptimalDegreeForQuantile(c, 95, row.w)
 		if err != nil {
 			return nil, err
@@ -145,9 +170,15 @@ func Fig20(cfg Config) (*trace.Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		t.AddRow(row.name, frac(row.w.Service), itoa(deg), sec(m.TailService),
+		return []string{row.name, frac(row.w.Service), itoa(deg), sec(m.TailService),
 			pct(trace.Improvement(base.TotalService, m.TotalService)),
-			pct(trace.Improvement(base.ExpenseUSD, m.ExpenseUSD)))
+			pct(trace.Improvement(base.ExpenseUSD, m.ExpenseUSD))}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, r := range rows {
+		t.AddRow(r...)
 	}
 	// (b) QoS-bounded run: a bound between the best and worst achievable
 	// tails forces a non-trivial weight.
@@ -184,21 +215,28 @@ func Fig21(cfg Config) (*trace.Table, error) {
 		Header: []string{"platform", "app", "degree", "service improv", "expense improv"},
 	}
 	c := 1000
-	for _, p := range platform.Providers() {
-		for _, w := range workload.Motivation() {
-			run, err := orchestrator.RunProPack(p, w.Demand(), c, core.Balanced(), cfg.Seed)
-			if err != nil {
-				return nil, err
-			}
-			base, err := orchestrator.Execute(p, w.Demand(), c, 1, cfg.Seed)
-			if err != nil {
-				return nil, err
-			}
-			got := run.MetricsWithOverhead()
-			t.AddRow(p.Name, w.Name(), itoa(run.Plan.Degree),
-				pct(trace.Improvement(base.TotalService, got.TotalService)),
-				pct(trace.Improvement(base.ExpenseUSD, got.ExpenseUSD)))
+	providers := platform.Providers()
+	apps := workload.Motivation()
+	rows, err := forAll(cfg, len(providers)*len(apps), func(i int) ([]string, error) {
+		p, w := providers[i/len(apps)], apps[i%len(apps)]
+		run, err := orchestrator.RunProPack(p, w.Demand(), c, core.Balanced(), cfg.Seed)
+		if err != nil {
+			return nil, err
 		}
+		base, err := orchestrator.Execute(p, w.Demand(), c, 1, cfg.Seed)
+		if err != nil {
+			return nil, err
+		}
+		got := run.MetricsWithOverhead()
+		return []string{p.Name, w.Name(), itoa(run.Plan.Degree),
+			pct(trace.Improvement(base.TotalService, got.TotalService)),
+			pct(trace.Improvement(base.ExpenseUSD, got.ExpenseUSD))}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, r := range rows {
+		t.AddRow(r...)
 	}
 	return t, nil
 }

@@ -48,14 +48,20 @@ func oracleFromSweep(sweep []trace.Metrics, q float64) int {
 // averagedSweep repeats the exhaustive degree sweep with `trials` seeds and
 // averages the metrics per degree — the paper repeats every experiment for
 // statistical significance, and the Oracle degree is meaningless otherwise
-// (neighbouring degrees differ by less than the run-to-run jitter).
-func averagedSweep(p platform.Config, d interfere.Demand, c int, seed int64, maxDeg, trials int) ([]trace.Metrics, error) {
+// (neighbouring degrees differ by less than the run-to-run jitter). The
+// trials fan out over `workers` in parallel (each trial owns its seed), and
+// the averages are folded in trial order, so the result is bit-identical to
+// the sequential loop.
+func averagedSweep(cfg Config, p platform.Config, d interfere.Demand, c int, maxDeg, trials int) ([]trace.Metrics, error) {
+	sweeps, err := forAll(cfg, trials, func(t int) ([]trace.Metrics, error) {
+		return baseline.SweepWithOptions(p, d, c, cfg.Seed+int64(t)*1009, maxDeg,
+			baseline.SweepOptions{Workers: cfg.Workers})
+	})
+	if err != nil {
+		return nil, err
+	}
 	var acc []trace.Metrics
-	for t := 0; t < trials; t++ {
-		sweep, err := baseline.Sweep(p, d, c, seed+int64(t)*1009, maxDeg)
-		if err != nil {
-			return nil, err
-		}
+	for _, sweep := range sweeps {
 		if acc == nil {
 			acc = sweep
 			continue
@@ -92,13 +98,16 @@ func Fig8(cfg Config) (*trace.Table, error) {
 		Header: []string{"app", "concurrency", "metric", "oracle", "propack", "delta", "match"},
 	}
 	p := platform.AWSLambda()
-	for _, w := range workload.Motivation() {
+	apps := workload.Motivation()
+	rows, err := forAll(cfg, len(apps), func(i int) ([][]string, error) {
+		w := apps[i]
 		models, _, _, _, err := buildModels(cfg, p, w)
 		if err != nil {
 			return nil, err
 		}
+		var out [][]string
 		for _, c := range cfg.concurrencies() {
-			sweep, err := averagedSweep(p, w.Demand(), c, cfg.Seed, models.MaxDegree, 3)
+			sweep, err := averagedSweep(cfg, p, w.Demand(), c, models.MaxDegree, 3)
 			if err != nil {
 				return nil, err
 			}
@@ -115,8 +124,18 @@ func Fig8(cfg Config) (*trace.Table, error) {
 				if pp != oracle {
 					match = "no"
 				}
-				t.AddRow(w.Name(), itoa(c), metric.name, itoa(oracle), itoa(pp), itoa(pp-oracle), match)
+				out = append(out, []string{w.Name(), itoa(c), metric.name,
+					itoa(oracle), itoa(pp), itoa(pp - oracle), match})
 			}
+		}
+		return out, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, appRows := range rows {
+		for _, r := range appRows {
+			t.AddRow(r...)
 		}
 	}
 	return t, nil
@@ -124,7 +143,8 @@ func Fig8(cfg Config) (*trace.Table, error) {
 
 // improvementRows runs ProPack (balanced weights, overhead included) and
 // the no-packing baseline for each motivation app and concurrency, and
-// reports improvement on the selected metric.
+// reports improvement on the selected metric. The (app × concurrency) grid
+// fans out in parallel; rows land in grid order.
 func improvementRows(cfg Config, title string, header string,
 	pick func(m trace.Metrics) float64) (*trace.Table, error) {
 	t := &trace.Table{
@@ -132,21 +152,28 @@ func improvementRows(cfg Config, title string, header string,
 		Header: []string{"app", "concurrency", "degree", "baseline " + header, "propack " + header, "improvement"},
 	}
 	p := platform.AWSLambda()
-	for _, w := range workload.Motivation() {
-		for _, c := range cfg.concurrencies() {
-			run, err := orchestrator.RunProPack(p, w.Demand(), c, core.Balanced(), cfg.Seed)
-			if err != nil {
-				return nil, err
-			}
-			base, err := orchestrator.Execute(p, w.Demand(), c, 1, cfg.Seed)
-			if err != nil {
-				return nil, err
-			}
-			got := run.MetricsWithOverhead()
-			t.AddRow(w.Name(), itoa(c), itoa(run.Plan.Degree),
-				sec(pick(base)), sec(pick(got)),
-				pct(trace.Improvement(pick(base), pick(got))))
+	apps := workload.Motivation()
+	cs := cfg.concurrencies()
+	rows, err := forAll(cfg, len(apps)*len(cs), func(i int) ([]string, error) {
+		w, c := apps[i/len(cs)], cs[i%len(cs)]
+		run, err := orchestrator.RunProPack(p, w.Demand(), c, core.Balanced(), cfg.Seed)
+		if err != nil {
+			return nil, err
 		}
+		base, err := orchestrator.Execute(p, w.Demand(), c, 1, cfg.Seed)
+		if err != nil {
+			return nil, err
+		}
+		got := run.MetricsWithOverhead()
+		return []string{w.Name(), itoa(c), itoa(run.Plan.Degree),
+			sec(pick(base)), sec(pick(got)),
+			pct(trace.Improvement(pick(base), pick(got)))}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, r := range rows {
+		t.AddRow(r...)
 	}
 	return t, nil
 }
@@ -177,21 +204,28 @@ func Fig11(cfg Config) (*trace.Table, error) {
 		Header: []string{"app", "concurrency", "degree", "baseline", "propack", "improvement"},
 	}
 	p := platform.AWSLambda()
-	for _, w := range workload.Motivation() {
-		for _, c := range cfg.concurrencies() {
-			run, err := orchestrator.RunProPack(p, w.Demand(), c, core.Balanced(), cfg.Seed)
-			if err != nil {
-				return nil, err
-			}
-			base, err := orchestrator.Execute(p, w.Demand(), c, 1, cfg.Seed)
-			if err != nil {
-				return nil, err
-			}
-			got := run.MetricsWithOverhead()
-			t.AddRow(w.Name(), itoa(c), itoa(run.Plan.Degree),
-				usd(base.ExpenseUSD), usd(got.ExpenseUSD),
-				pct(trace.Improvement(base.ExpenseUSD, got.ExpenseUSD)))
+	apps := workload.Motivation()
+	cs := cfg.concurrencies()
+	rows, err := forAll(cfg, len(apps)*len(cs), func(i int) ([]string, error) {
+		w, c := apps[i/len(cs)], cs[i%len(cs)]
+		run, err := orchestrator.RunProPack(p, w.Demand(), c, core.Balanced(), cfg.Seed)
+		if err != nil {
+			return nil, err
 		}
+		base, err := orchestrator.Execute(p, w.Demand(), c, 1, cfg.Seed)
+		if err != nil {
+			return nil, err
+		}
+		got := run.MetricsWithOverhead()
+		return []string{w.Name(), itoa(c), itoa(run.Plan.Degree),
+			usd(base.ExpenseUSD), usd(got.ExpenseUSD),
+			pct(trace.Improvement(base.ExpenseUSD, got.ExpenseUSD))}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, r := range rows {
+		t.AddRow(r...)
 	}
 	return t, nil
 }
@@ -207,7 +241,9 @@ func Fig12(cfg Config) (*trace.Table, error) {
 	}
 	p := platform.AWSLambda()
 	c := cfg.midConcurrency()
-	for _, w := range workload.Motivation() {
+	apps := workload.Motivation()
+	rows, err := forAll(cfg, len(apps), func(i int) ([][]string, error) {
+		w := apps[i]
 		base, err := orchestrator.Execute(p, w.Demand(), c, 1, cfg.Seed)
 		if err != nil {
 			return nil, err
@@ -217,8 +253,18 @@ func Fig12(cfg Config) (*trace.Table, error) {
 			return nil, err
 		}
 		got := run.MetricsWithOverhead()
-		t.AddRow(w.Name(), "no packing", "1", f3(base.FunctionHours), usd(base.ExpenseUSD))
-		t.AddRow(w.Name(), "ProPack", itoa(run.Plan.Degree), f3(got.FunctionHours), usd(got.ExpenseUSD))
+		return [][]string{
+			{w.Name(), "no packing", "1", f3(base.FunctionHours), usd(base.ExpenseUSD)},
+			{w.Name(), "ProPack", itoa(run.Plan.Degree), f3(got.FunctionHours), usd(got.ExpenseUSD)},
+		}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, appRows := range rows {
+		for _, r := range appRows {
+			t.AddRow(r...)
+		}
 	}
 	return t, nil
 }

@@ -26,15 +26,27 @@ func Fig4(cfg Config) (*trace.Table, error) {
 		Header: []string{"app", "degree", "observed", "model", "error"},
 	}
 	p := platform.AWSLambda()
-	for _, w := range workload.Motivation() {
+	apps := workload.Motivation()
+	rows, err := forAll(cfg, len(apps), func(i int) ([][]string, error) {
+		w := apps[i]
 		models, samples, _, _, err := buildModels(cfg, p, w)
 		if err != nil {
 			return nil, err
 		}
+		var out [][]string
 		for _, s := range samples {
 			pred := models.ET.At(s.Degree)
-			t.AddRow(w.Name(), itoa(s.Degree), sec(s.ETSec), sec(pred),
-				pct(100*(pred-s.ETSec)/s.ETSec))
+			out = append(out, []string{w.Name(), itoa(s.Degree), sec(s.ETSec), sec(pred),
+				pct(100 * (pred - s.ETSec) / s.ETSec)})
+		}
+		return out, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, appRows := range rows {
+		for _, r := range appRows {
+			t.AddRow(r...)
 		}
 	}
 	return t, nil
@@ -55,37 +67,47 @@ func Validation(cfg Config) (*trace.Table, error) {
 	if cfg.Quick {
 		providers = providers[:1] // AWS only on the quick grid
 	}
-	for _, p := range providers {
-		for _, w := range workload.Motivation() {
-			models, _, _, _, err := buildModels(cfg, p, w)
+	apps := workload.Motivation()
+	rows, err := forAll(cfg, len(providers)*len(apps), func(i int) ([][]string, error) {
+		p, w := providers[i/len(apps)], apps[i%len(apps)]
+		models, _, _, _, err := buildModels(cfg, p, w)
+		if err != nil {
+			return nil, err
+		}
+		var obs []core.Observation
+		for _, deg := range core.SampleDegrees(models.MaxDegree) {
+			res, err := platform.Run(p, platform.Burst{
+				Demand: w.Demand(), Functions: c, Degree: deg, Seed: cfg.Seed + 101,
+			})
 			if err != nil {
-				return nil, err
+				break
 			}
-			var obs []core.Observation
-			for _, deg := range core.SampleDegrees(models.MaxDegree) {
-				res, err := platform.Run(p, platform.Burst{
-					Demand: w.Demand(), Functions: c, Degree: deg, Seed: cfg.Seed + 101,
-				})
-				if err != nil {
-					break
-				}
-				obs = append(obs, core.Observation{
-					Degree:     deg,
-					ServiceSec: res.TotalServiceTime(),
-					ExpenseUSD: res.ExpenseUSD(),
-				})
+			obs = append(obs, core.Observation{
+				Degree:     deg,
+				ServiceSec: res.TotalServiceTime(),
+				ExpenseUSD: res.ExpenseUSD(),
+			})
+		}
+		sv, ev, err := models.ValidateModels(c, obs, core.PaperValidationDF)
+		if err != nil {
+			return nil, err
+		}
+		var out [][]string
+		for _, v := range []core.Validation{sv, ev} {
+			verdict := "ACCEPT"
+			if !v.Accepted {
+				verdict = "REJECT"
 			}
-			sv, ev, err := models.ValidateModels(c, obs, core.PaperValidationDF)
-			if err != nil {
-				return nil, err
-			}
-			for _, v := range []core.Validation{sv, ev} {
-				verdict := "ACCEPT"
-				if !v.Accepted {
-					verdict = "REJECT"
-				}
-				t.AddRow(p.Name, w.Name(), itoa(c), v.Quantity, f3(v.Stat), f3(v.Critical), verdict)
-			}
+			out = append(out, []string{p.Name, w.Name(), itoa(c), v.Quantity, f3(v.Stat), f3(v.Critical), verdict})
+		}
+		return out, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, cellRows := range rows {
+		for _, r := range cellRows {
+			t.AddRow(r...)
 		}
 	}
 	return t, nil

@@ -14,20 +14,28 @@ func Fig1(cfg Config) (*trace.Table, error) {
 		Title:  "Fig 1: scaling time / total service time (no packing)",
 		Header: []string{"platform", "app", "concurrency", "scaling", "total service", "fraction"},
 	}
-	for _, p := range platform.Providers() {
-		for _, w := range workload.Motivation() {
-			for _, c := range cfg.concurrencies() {
-				res, err := platform.Run(p, platform.Burst{
-					Demand: w.Demand(), Functions: c, Degree: 1, Seed: cfg.Seed,
-				})
-				if err != nil {
-					return nil, err
-				}
-				t.AddRow(p.Name, w.Name(), itoa(c),
-					sec(res.ScalingTime()), sec(res.TotalServiceTime()),
-					frac(res.ScalingTime()/res.TotalServiceTime()))
-			}
+	providers := platform.Providers()
+	apps := workload.Motivation()
+	cs := cfg.concurrencies()
+	rows, err := forAll(cfg, len(providers)*len(apps)*len(cs), func(i int) ([]string, error) {
+		p := providers[i/(len(apps)*len(cs))]
+		w := apps[i/len(cs)%len(apps)]
+		c := cs[i%len(cs)]
+		res, err := platform.Run(p, platform.Burst{
+			Demand: w.Demand(), Functions: c, Degree: 1, Seed: cfg.Seed,
+		})
+		if err != nil {
+			return nil, err
 		}
+		return []string{p.Name, w.Name(), itoa(c),
+			sec(res.ScalingTime()), sec(res.TotalServiceTime()),
+			frac(res.ScalingTime() / res.TotalServiceTime())}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, r := range rows {
+		t.AddRow(r...)
 	}
 	return t, nil
 }
@@ -44,20 +52,27 @@ func Fig2(cfg Config) (*trace.Table, error) {
 	}
 	p := platform.AWSLambda()
 	d := workload.Video{}.Demand() // stage times are application-independent
-	var norm float64
 	type row struct {
-		c                  int
-		sched, build, ship float64
+		c                           int
+		sched, build, ship, scaling float64
 	}
-	var rows []row
-	for _, c := range cfg.concurrencies() {
+	cs := cfg.concurrencies()
+	rows, err := forAll(cfg, len(cs), func(i int) (row, error) {
+		c := cs[i]
 		res, err := platform.Run(p, platform.Burst{Demand: d, Functions: c, Degree: 1, Seed: cfg.Seed})
 		if err != nil {
-			return nil, err
+			return row{}, err
 		}
-		rows = append(rows, row{c: c, sched: res.SchedBusySec, build: res.BuildBusySec, ship: res.ShipBusySec})
-		if c == cfg.topConcurrency() {
-			norm = res.ScalingTime()
+		return row{c: c, sched: res.SchedBusySec, build: res.BuildBusySec,
+			ship: res.ShipBusySec, scaling: res.ScalingTime()}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var norm float64
+	for _, r := range rows {
+		if r.c == cfg.topConcurrency() {
+			norm = r.scaling
 		}
 	}
 	for _, r := range rows {
@@ -75,17 +90,23 @@ func Fig5a(cfg Config) (*trace.Table, error) {
 		Header: []string{"app", "concurrency", "mean exec", "drift vs first"},
 	}
 	p := platform.AWSLambda()
-	for _, w := range workload.Motivation() {
-		var first float64
-		for i, c := range cfg.concurrencies() {
-			res, err := platform.Run(p, platform.Burst{Demand: w.Demand(), Functions: c, Degree: 1, Seed: cfg.Seed})
-			if err != nil {
-				return nil, err
-			}
-			et := res.MeanExecSeconds()
-			if i == 0 {
-				first = et
-			}
+	apps := workload.Motivation()
+	cs := cfg.concurrencies()
+	ets, err := forAll(cfg, len(apps)*len(cs), func(i int) (float64, error) {
+		w, c := apps[i/len(cs)], cs[i%len(cs)]
+		res, err := platform.Run(p, platform.Burst{Demand: w.Demand(), Functions: c, Degree: 1, Seed: cfg.Seed})
+		if err != nil {
+			return 0, err
+		}
+		return res.MeanExecSeconds(), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for ai, w := range apps {
+		first := ets[ai*len(cs)]
+		for ci, c := range cs {
+			et := ets[ai*len(cs)+ci]
 			t.AddRow(w.Name(), itoa(c), sec(et), pct(100*(et-first)/first))
 		}
 	}
@@ -100,15 +121,21 @@ func Fig5b(cfg Config) (*trace.Table, error) {
 		Header: []string{"concurrency", "Video", "Sort", "Stateless Cost", "max spread"},
 	}
 	p := platform.AWSLambda()
-	for _, c := range cfg.concurrencies() {
-		var vals []float64
-		for _, w := range workload.Motivation() {
-			res, err := platform.Run(p, platform.Burst{Demand: w.Demand(), Functions: c, Degree: 1, Seed: cfg.Seed})
-			if err != nil {
-				return nil, err
-			}
-			vals = append(vals, res.ScalingTime())
+	apps := workload.Motivation()
+	cs := cfg.concurrencies()
+	scalings, err := forAll(cfg, len(cs)*len(apps), func(i int) (float64, error) {
+		c, w := cs[i/len(apps)], apps[i%len(apps)]
+		res, err := platform.Run(p, platform.Burst{Demand: w.Demand(), Functions: c, Degree: 1, Seed: cfg.Seed})
+		if err != nil {
+			return 0, err
 		}
+		return res.ScalingTime(), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for ci, c := range cs {
+		vals := scalings[ci*len(apps) : (ci+1)*len(apps)]
 		lo, hi := vals[0], vals[0]
 		for _, v := range vals {
 			if v < lo {
@@ -132,17 +159,32 @@ func Fig6(cfg Config) (*trace.Table, error) {
 	}
 	p := platform.AWSLambda()
 	c := cfg.topConcurrency()
+	type cell struct {
+		w   workload.Workload
+		deg int
+	}
+	var cells []cell
 	for _, w := range workload.Motivation() {
 		for _, deg := range []int{1, 2, 4, 8, 12} {
 			if deg > p.Shape.MaxDegree(w.Demand()) {
 				continue
 			}
-			res, err := platform.Run(p, platform.Burst{Demand: w.Demand(), Functions: c, Degree: deg, Seed: cfg.Seed})
-			if err != nil {
-				return nil, err
-			}
-			t.AddRow(w.Name(), itoa(deg), itoa(res.Burst.Instances()), sec(res.ScalingTime()))
+			cells = append(cells, cell{w, deg})
 		}
+	}
+	rows, err := forAll(cfg, len(cells), func(i int) ([]string, error) {
+		w, deg := cells[i].w, cells[i].deg
+		res, err := platform.Run(p, platform.Burst{Demand: w.Demand(), Functions: c, Degree: deg, Seed: cfg.Seed})
+		if err != nil {
+			return nil, err
+		}
+		return []string{w.Name(), itoa(deg), itoa(res.Burst.Instances()), sec(res.ScalingTime())}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, r := range rows {
+		t.AddRow(r...)
 	}
 	return t, nil
 }
@@ -160,22 +202,44 @@ func Fig7(cfg Config) (*trace.Table, error) {
 	if !cfg.Quick {
 		c = 1000 // the paper plots Fig. 7 at a concurrency of 1000
 	}
-	for _, w := range workload.Motivation() {
+	degrees := []int{1, 2, 4, 8, 12, 16, 20, 25, 30, 35, 40}
+	apps := workload.Motivation()
+	// A cell past the platform's execution limit is a normal truncation
+	// signal for its app's sweep, so failures ride in the value.
+	type cell struct {
+		expense float64
+		ok      bool
+	}
+	cells, err := forAll(cfg, len(apps)*len(degrees), func(i int) (cell, error) {
+		w, deg := apps[i/len(degrees)], degrees[i%len(degrees)]
+		if deg > p.Shape.MaxDegree(w.Demand()) {
+			return cell{}, nil
+		}
+		res, err := platform.Run(p, platform.Burst{Demand: w.Demand(), Functions: c, Degree: deg, Seed: cfg.Seed})
+		if err != nil {
+			return cell{}, nil // execution limit: stop this app's sweep
+		}
+		return cell{expense: res.ExpenseUSD(), ok: true}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for ai, w := range apps {
 		maxDeg := p.Shape.MaxDegree(w.Demand())
 		var base float64
-		for _, deg := range []int{1, 2, 4, 8, 12, 16, 20, 25, 30, 35, 40} {
+		for di, deg := range degrees {
 			if deg > maxDeg {
 				break
 			}
-			res, err := platform.Run(p, platform.Burst{Demand: w.Demand(), Functions: c, Degree: deg, Seed: cfg.Seed})
-			if err != nil {
-				break // execution limit: stop this app's sweep
+			cl := cells[ai*len(degrees)+di]
+			if !cl.ok {
+				break
 			}
 			if deg == 1 {
-				base = res.ExpenseUSD()
+				base = cl.expense
 			}
-			t.AddRow(w.Name(), itoa(deg), usd(res.ExpenseUSD()),
-				pct(trace.Improvement(base, res.ExpenseUSD())))
+			t.AddRow(w.Name(), itoa(deg), usd(cl.expense),
+				pct(trace.Improvement(base, cl.expense)))
 		}
 	}
 	return t, nil

@@ -20,25 +20,32 @@ func Fig13(cfg Config) (*trace.Table, error) {
 		Header: []string{"app", "concurrency", "joint deg", "svc deg", "joint improv", "svc improv", "extra"},
 	}
 	p := platform.AWSLambda()
-	for _, w := range workload.Motivation() {
-		for _, c := range cfg.concurrencies() {
-			joint, err := orchestrator.RunProPack(p, w.Demand(), c, core.Balanced(), cfg.Seed)
-			if err != nil {
-				return nil, err
-			}
-			svc, err := orchestrator.RunProPack(p, w.Demand(), c, core.ServiceOnly(), cfg.Seed)
-			if err != nil {
-				return nil, err
-			}
-			base, err := orchestrator.Execute(p, w.Demand(), c, 1, cfg.Seed)
-			if err != nil {
-				return nil, err
-			}
-			ji := trace.Improvement(base.TotalService, joint.Metrics.TotalService)
-			si := trace.Improvement(base.TotalService, svc.Metrics.TotalService)
-			t.AddRow(w.Name(), itoa(c), itoa(joint.Plan.Degree), itoa(svc.Plan.Degree),
-				pct(ji), pct(si), pct(si-ji))
+	apps := workload.Motivation()
+	cs := cfg.concurrencies()
+	rows, err := forAll(cfg, len(apps)*len(cs), func(i int) ([]string, error) {
+		w, c := apps[i/len(cs)], cs[i%len(cs)]
+		joint, err := orchestrator.RunProPack(p, w.Demand(), c, core.Balanced(), cfg.Seed)
+		if err != nil {
+			return nil, err
 		}
+		svc, err := orchestrator.RunProPack(p, w.Demand(), c, core.ServiceOnly(), cfg.Seed)
+		if err != nil {
+			return nil, err
+		}
+		base, err := orchestrator.Execute(p, w.Demand(), c, 1, cfg.Seed)
+		if err != nil {
+			return nil, err
+		}
+		ji := trace.Improvement(base.TotalService, joint.Metrics.TotalService)
+		si := trace.Improvement(base.TotalService, svc.Metrics.TotalService)
+		return []string{w.Name(), itoa(c), itoa(joint.Plan.Degree), itoa(svc.Plan.Degree),
+			pct(ji), pct(si), pct(si - ji)}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, r := range rows {
+		t.AddRow(r...)
 	}
 	return t, nil
 }
@@ -51,43 +58,54 @@ func Fig14(cfg Config) (*trace.Table, error) {
 		Header: []string{"app", "concurrency", "joint deg", "exp deg", "joint improv", "exp improv", "extra"},
 	}
 	p := platform.AWSLambda()
-	for _, w := range workload.Motivation() {
-		for _, c := range cfg.concurrencies() {
-			joint, err := orchestrator.RunProPack(p, w.Demand(), c, core.Balanced(), cfg.Seed)
-			if err != nil {
-				return nil, err
-			}
-			exp, err := orchestrator.RunProPack(p, w.Demand(), c, core.ExpenseOnly(), cfg.Seed)
-			if err != nil {
-				return nil, err
-			}
-			base, err := orchestrator.Execute(p, w.Demand(), c, 1, cfg.Seed)
-			if err != nil {
-				return nil, err
-			}
-			ji := trace.Improvement(base.ExpenseUSD, joint.MetricsWithOverhead().ExpenseUSD)
-			ei := trace.Improvement(base.ExpenseUSD, exp.MetricsWithOverhead().ExpenseUSD)
-			t.AddRow(w.Name(), itoa(c), itoa(joint.Plan.Degree), itoa(exp.Plan.Degree),
-				pct(ji), pct(ei), pct(ei-ji))
+	apps := workload.Motivation()
+	cs := cfg.concurrencies()
+	rows, err := forAll(cfg, len(apps)*len(cs), func(i int) ([]string, error) {
+		w, c := apps[i/len(cs)], cs[i%len(cs)]
+		joint, err := orchestrator.RunProPack(p, w.Demand(), c, core.Balanced(), cfg.Seed)
+		if err != nil {
+			return nil, err
 		}
+		exp, err := orchestrator.RunProPack(p, w.Demand(), c, core.ExpenseOnly(), cfg.Seed)
+		if err != nil {
+			return nil, err
+		}
+		base, err := orchestrator.Execute(p, w.Demand(), c, 1, cfg.Seed)
+		if err != nil {
+			return nil, err
+		}
+		ji := trace.Improvement(base.ExpenseUSD, joint.MetricsWithOverhead().ExpenseUSD)
+		ei := trace.Improvement(base.ExpenseUSD, exp.MetricsWithOverhead().ExpenseUSD)
+		return []string{w.Name(), itoa(c), itoa(joint.Plan.Degree), itoa(exp.Plan.Degree),
+			pct(ji), pct(ei), pct(ei - ji)}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, r := range rows {
+		t.AddRow(r...)
 	}
 	return t, nil
 }
 
 // Fig15 reproduces the objective-dependence of the Oracle packing degree:
 // minimizing expense packs more than minimizing service time, and ProPack's
-// analytical degrees track both.
+// analytical degrees track both. Each app builds its models once and reuses
+// them across the concurrency grid, so the fan-out is per app.
 func Fig15(cfg Config) (*trace.Table, error) {
 	t := &trace.Table{
 		Title:  "Fig 15: Oracle degree by objective (service-only vs expense-only)",
 		Header: []string{"app", "concurrency", "oracle svc", "propack svc", "oracle exp", "propack exp"},
 	}
 	p := platform.AWSLambda()
-	for _, w := range workload.Motivation() {
+	apps := workload.Motivation()
+	rows, err := forAll(cfg, len(apps), func(i int) ([][]string, error) {
+		w := apps[i]
 		models, _, _, _, err := buildModels(cfg, p, w)
 		if err != nil {
 			return nil, err
 		}
+		var out [][]string
 		for _, c := range cfg.concurrencies() {
 			_, oS, err := (baseline.Oracle{Objective: baseline.MinTotalService}).Search(p, w.Demand(), c, cfg.Seed)
 			if err != nil {
@@ -97,9 +115,18 @@ func Fig15(cfg Config) (*trace.Table, error) {
 			if err != nil {
 				return nil, err
 			}
-			t.AddRow(w.Name(), itoa(c),
+			out = append(out, []string{w.Name(), itoa(c),
 				itoa(oS), itoa(models.OptimalDegreeService(c)),
-				itoa(oE), itoa(models.OptimalDegreeExpense(c)))
+				itoa(oE), itoa(models.OptimalDegreeExpense(c))})
+		}
+		return out, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, appRows := range rows {
+		for _, r := range appRows {
+			t.AddRow(r...)
 		}
 	}
 	return t, nil
@@ -124,7 +151,9 @@ func Fig16(cfg Config) (*trace.Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	for _, ws := range []float64{0.1, 0.3, 0.5, 0.7, 0.9} {
+	wss := []float64{0.1, 0.3, 0.5, 0.7, 0.9}
+	rows, err := forAll(cfg, len(wss), func(i int) ([]string, error) {
+		ws := wss[i]
 		weights := core.Weights{Service: ws, Expense: 1 - ws}
 		deg, err := models.OptimalDegree(c, weights)
 		if err != nil {
@@ -134,9 +163,15 @@ func Fig16(cfg Config) (*trace.Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		t.AddRow(fmt.Sprintf("%.1f/%.1f", ws, 1-ws), itoa(deg),
+		return []string{fmt.Sprintf("%.1f/%.1f", ws, 1-ws), itoa(deg),
 			pct(trace.Improvement(base.TotalService, m.TotalService)),
-			pct(trace.Improvement(base.ExpenseUSD, m.ExpenseUSD)))
+			pct(trace.Improvement(base.ExpenseUSD, m.ExpenseUSD))}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, r := range rows {
+		t.AddRow(r...)
 	}
 	return t, nil
 }

@@ -10,9 +10,11 @@
 package livemeasure
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/core"
+	"repro/internal/parallel"
 	"repro/internal/workload"
 )
 
@@ -30,6 +32,15 @@ type Options struct {
 	MfuncGB float64
 	// Seed derives the workloads' deterministic inputs.
 	Seed int64
+	// Workers fans the (degree, trial) probe grid out over a bounded pool.
+	// 0 and 1 both mean sequential — unlike elsewhere, the default here is
+	// NOT GOMAXPROCS, because concurrent probes contend for the very cores
+	// whose wall time is being measured and would skew the fit. Raise it
+	// only when probe fidelity matters less than throughput (e.g. smoke
+	// tests). The workload inputs stay deterministic per (Seed, degree,
+	// trial) regardless, so the sample *structure* is worker-independent
+	// even though measured wall times always jitter.
+	Workers int
 }
 
 // Profile runs the workload's real kernel at alternate packing degrees
@@ -60,18 +71,31 @@ func Profile(w workload.Workload, opts Options) (core.ETModel, []core.ETSample, 
 		return core.ETModel{}, nil, fmt.Errorf("livemeasure: non-positive Mfunc")
 	}
 
-	var samples []core.ETSample
-	for _, degree := range core.SampleDegrees(opts.MaxDegree) {
-		var sum float64
-		for t := 0; t < trials; t++ {
+	workers := opts.Workers
+	if workers == 0 {
+		workers = 1 // sequential by default: parallel probes skew wall times
+	}
+	degrees := core.SampleDegrees(opts.MaxDegree)
+	walls, err := parallel.Map(context.Background(), len(degrees)*trials,
+		func(_ context.Context, i int) (float64, error) {
+			degree, t := degrees[i/trials], i%trials
 			res, err := workload.RunPacked(w, degree, opts.Cores,
 				opts.Seed+int64(1000*degree+t))
 			if err != nil {
-				return core.ETModel{}, nil, fmt.Errorf("livemeasure: degree %d: %w", degree, err)
+				return 0, fmt.Errorf("livemeasure: degree %d: %w", degree, err)
 			}
-			sum += res.Wall.Seconds()
+			return res.Wall.Seconds(), nil
+		}, parallel.Workers(workers))
+	if err != nil {
+		return core.ETModel{}, nil, err
+	}
+	samples := make([]core.ETSample, len(degrees))
+	for di, degree := range degrees {
+		var sum float64
+		for t := 0; t < trials; t++ {
+			sum += walls[di*trials+t]
 		}
-		samples = append(samples, core.ETSample{Degree: degree, ETSec: sum / float64(trials)})
+		samples[di] = core.ETSample{Degree: degree, ETSec: sum / float64(trials)}
 	}
 	model, err := core.FitET(samples, mfuncGB, core.FitETOptions{})
 	if err != nil {

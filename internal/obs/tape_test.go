@@ -1,0 +1,57 @@
+package obs
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestTapeReplayPreservesInterleaving(t *testing.T) {
+	// Drive the same interleaved call sequence through a Tape→JSONL replay
+	// and a direct JSONL recorder; the bytes must match exactly. Memory
+	// could not serve as the buffer here — it splits spans and events into
+	// separate slices and would lose this interleaving.
+	drive := func(rec Recorder) {
+		rec.BeginBurst(BurstInfo{Platform: "test", Label: "a", Functions: 10, Degree: 2, Instances: 5})
+		rec.Span(Span{Instance: 0, Stage: StageSched, StartSec: 0, EndSec: 0.5})
+		rec.Event(Event{Instance: 0, Kind: EventStartRetry, AtSec: 0.25})
+		rec.Span(Span{Instance: 1, Stage: StageExec, StartSec: 0.5, EndSec: 2})
+		rec.BeginBurst(BurstInfo{Platform: "test", Label: "b", Functions: 4, Degree: 1, Instances: 4})
+		rec.Event(Event{Instance: 2, Kind: EventCrash, AtSec: 1.5, DurSec: 1.5})
+		rec.Span(Span{Instance: 2, Stage: StageExec, StartSec: 2, EndSec: 3})
+	}
+
+	var direct bytes.Buffer
+	drive(NewJSONL(&direct))
+
+	var replayed bytes.Buffer
+	tape := &Tape{}
+	drive(tape)
+	if tape.Len() != 7 {
+		t.Fatalf("tape recorded %d ops, want 7", tape.Len())
+	}
+	tape.Replay(NewJSONL(&replayed))
+
+	if !bytes.Equal(direct.Bytes(), replayed.Bytes()) {
+		t.Fatalf("replay bytes differ:\n direct:\n%s\n replayed:\n%s", direct.String(), replayed.String())
+	}
+}
+
+func TestTapeNilSafety(t *testing.T) {
+	var nilTape *Tape
+	nilTape.Replay(NewJSONL(&bytes.Buffer{})) // must not panic
+	tape := &Tape{}
+	tape.BeginBurst(BurstInfo{})
+	tape.Replay(nil) // nil recorder: no-op, must not panic
+}
+
+func TestTapeReplayIsRepeatable(t *testing.T) {
+	tape := &Tape{}
+	tape.BeginBurst(BurstInfo{Platform: "p", Functions: 1, Degree: 1, Instances: 1})
+	tape.Span(Span{Stage: StageExec, EndSec: 1})
+	var a, b bytes.Buffer
+	tape.Replay(NewJSONL(&a))
+	tape.Replay(NewJSONL(&b))
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("second replay differs from first")
+	}
+}

@@ -18,11 +18,19 @@ func NewRNG(seed int64) *RNG {
 // is a SplitMix64-style hash of (seed, id) so streams do not overlap for
 // practical run lengths.
 func Stream(seed int64, id uint64) *RNG {
+	return NewRNG(SplitSeed(seed, id))
+}
+
+// SplitSeed is the splittable seed derivation behind Stream: a SplitMix64
+// mix of (seed, id). Parallel fan-outs use it to give every task its own
+// stream from (root seed, task index) so results never depend on which
+// worker ran the task or in what order.
+func SplitSeed(seed int64, id uint64) int64 {
 	z := uint64(seed) + 0x9e3779b97f4a7c15*(id+1)
 	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
 	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
 	z ^= z >> 31
-	return NewRNG(int64(z))
+	return int64(z)
 }
 
 // Float64 returns a uniform sample in [0, 1).

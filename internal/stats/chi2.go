@@ -20,11 +20,20 @@ func ChiSquareStat(observed, expected []float64) (float64, error) {
 	}
 	var stat float64
 	for i, e := range expected {
-		if e <= 0 {
-			return 0, fmt.Errorf("stats: non-positive expected value %g at index %d", e, i)
+		// `!(e > 0)` also rejects NaN, which the natural `e <= 0` guard
+		// silently admits (NaN comparisons are false) — a NaN expected value
+		// used to flow through and return a NaN statistic with a nil error.
+		if !(e > 0) || math.IsInf(e, 1) {
+			return 0, fmt.Errorf("stats: expected value must be positive and finite, got %g at index %d", e, i)
+		}
+		if o := observed[i]; !finite(o) {
+			return 0, fmt.Errorf("%w: observed[%d] = %g", ErrNonFinite, i, o)
 		}
 		d := observed[i] - e
 		stat += d * d / e
+	}
+	if !finite(stat) {
+		return 0, fmt.Errorf("%w: χ² statistic %g (overflow)", ErrNonFinite, stat)
 	}
 	return stat, nil
 }
@@ -81,6 +90,14 @@ type GoodnessOfFit struct {
 // critical value at the given left-tail probability (the paper uses
 // p = 0.005, i.e. 99.5% confidence) with df degrees of freedom.
 func ChiSquareTest(observed, expected []float64, df int, leftTail float64) (GoodnessOfFit, error) {
+	if df < 1 {
+		return GoodnessOfFit{}, fmt.Errorf("stats: degrees of freedom %d < 1", df)
+	}
+	// NaN left-tail masses would silently bisect to a critical value of ~0;
+	// `!(leftTail > 0)` rejects NaN along with non-positive masses.
+	if !(leftTail > 0) || leftTail >= 1 {
+		return GoodnessOfFit{}, fmt.Errorf("stats: left-tail mass %g outside (0, 1)", leftTail)
+	}
 	stat, err := ChiSquareStat(observed, expected)
 	if err != nil {
 		return GoodnessOfFit{}, err

@@ -37,8 +37,11 @@ func ExpFit(xs, ys []float64) (ExpModel, error) {
 	}
 	logs := make([]float64, len(ys))
 	for i, y := range ys {
-		if y <= 0 {
-			return ExpModel{}, fmt.Errorf("stats: exponential fit requires positive observations, got %g at index %d", y, i)
+		// NaN fails `y > 0` too, unlike the `y <= 0` form which lets NaN
+		// through (NaN comparisons are always false); +Inf must also be
+		// rejected or its log would poison the linear fit.
+		if !(y > 0) || math.IsInf(y, 1) {
+			return ExpModel{}, fmt.Errorf("stats: exponential fit requires positive finite observations, got %g at index %d", y, i)
 		}
 		logs[i] = math.Log(y)
 	}
@@ -63,11 +66,14 @@ func ExpFitThroughOrigin(xs, ys []float64) (ExpModel, error) {
 	if len(xs) < 1 {
 		return ExpModel{}, fmt.Errorf("%w: need ≥1 sample", ErrUnderdetermined)
 	}
+	if err := checkFinite("x", xs); err != nil {
+		return ExpModel{}, err
+	}
 	var num, den float64
 	for i, x := range xs {
 		y := ys[i]
-		if y <= 0 {
-			return ExpModel{}, fmt.Errorf("stats: exponential fit requires positive observations, got %g at index %d", y, i)
+		if !(y > 0) || math.IsInf(y, 1) {
+			return ExpModel{}, fmt.Errorf("stats: exponential fit requires positive finite observations, got %g at index %d", y, i)
 		}
 		num += x * math.Log(y)
 		den += x * x
@@ -75,5 +81,11 @@ func ExpFitThroughOrigin(xs, ys []float64) (ExpModel, error) {
 	if den == 0 {
 		return ExpModel{}, ErrSingular
 	}
-	return ExpModel{Slope: num / den}, nil
+	slope := num / den
+	if !finite(slope) {
+		// Overflowed accumulators (|x| near sqrt(MaxFloat64)) can yield
+		// Inf/Inf here even though every sample was finite.
+		return ExpModel{}, fmt.Errorf("%w: slope %g", ErrNonFinite, slope)
+	}
+	return ExpModel{Slope: slope}, nil
 }

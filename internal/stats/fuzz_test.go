@@ -1,0 +1,133 @@
+package stats
+
+import (
+	"encoding/binary"
+	"math"
+	"testing"
+)
+
+// decodeFloats reinterprets the fuzz payload as little-endian float64s.
+// Trailing bytes short of a full word are ignored; any bit pattern is a
+// valid float64, so the fuzzer reaches NaN/±Inf/subnormals without help.
+func decodeFloats(data []byte) []float64 {
+	out := make([]float64, 0, len(data)/8)
+	for len(data) >= 8 {
+		out = append(out, math.Float64frombits(binary.LittleEndian.Uint64(data)))
+		data = data[8:]
+	}
+	return out
+}
+
+// encodeFloats is decodeFloats' inverse, used to build seed inputs.
+func encodeFloats(vs ...float64) []byte {
+	out := make([]byte, 0, 8*len(vs))
+	for _, v := range vs {
+		out = binary.LittleEndian.AppendUint64(out, math.Float64bits(v))
+	}
+	return out
+}
+
+// splitXY halves the decoded floats into equal-length abscissae and
+// ordinates.
+func splitXY(vs []float64) (xs, ys []float64) {
+	n := len(vs) / 2
+	return vs[:n], vs[n : 2*n]
+}
+
+// FuzzExpFit asserts ExpFit and ExpFitThroughOrigin never panic and never
+// return a model with non-finite parameters alongside a nil error. The NaN
+// corpus seed reproduces the pre-fix bug: NaN observations passed the
+// `y <= 0` guard and produced a NaN slope with no error.
+func FuzzExpFit(f *testing.F) {
+	f.Add(encodeFloats(1, 2, 3, 2.5, 6.2, 15.8))       // clean exponential-ish data
+	f.Add(encodeFloats(1, 2, math.NaN(), 1))           // NaN observation (the historical bug)
+	f.Add(encodeFloats(math.Inf(1), 1, 2, 3))          // Inf abscissa
+	f.Add(encodeFloats(1e300, -1e300, 1, 1))           // overflowing power sums
+	f.Add(encodeFloats(0, 0, 1, 2))                    // coincident xs: singular
+	f.Add(encodeFloats(1, 2, 0, 5))                    // non-positive observation
+	f.Add(encodeFloats(1, 2, 5e-324, math.MaxFloat64)) // subnormal + extreme magnitude
+	f.Fuzz(func(t *testing.T, data []byte) {
+		xs, ys := splitXY(decodeFloats(data))
+		if m, err := ExpFit(xs, ys); err == nil {
+			if !finite(m.Slope) || !finite(m.Intercept) {
+				t.Fatalf("ExpFit(%v, %v) = %+v with nil error", xs, ys, m)
+			}
+		}
+		if m, err := ExpFitThroughOrigin(xs, ys); err == nil {
+			if !finite(m.Slope) || !finite(m.Intercept) {
+				t.Fatalf("ExpFitThroughOrigin(%v, %v) = %+v with nil error", xs, ys, m)
+			}
+		}
+	})
+}
+
+// FuzzPolyFit asserts PolyFit never panics and a nil error implies finite
+// coefficients of the requested arity, for degrees 0–4 chosen by the first
+// payload byte.
+func FuzzPolyFit(f *testing.F) {
+	f.Add([]byte{1}) // degree 1, no samples: underdetermined
+	f.Add(append([]byte{2}, encodeFloats(1, 2, 3, 4, 2, 5, 10, 17)...))
+	f.Add(append([]byte{1}, encodeFloats(1, 2, math.NaN(), 4)...))           // NaN ordinate (historical bug)
+	f.Add(append([]byte{3}, encodeFloats(1e155, 2e155, -1e155, 1, 2, 3)...)) // overflow
+	f.Add(append([]byte{0}, encodeFloats(5, 5)...))
+	f.Add(append([]byte{4}, encodeFloats(1, 1, 1, 1, 1, 2, 3, 4, 5, 6)...)) // coincident xs
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) == 0 {
+			return
+		}
+		degree := int(data[0] % 5)
+		xs, ys := splitXY(decodeFloats(data[1:]))
+		poly, err := PolyFit(xs, ys, degree)
+		if err != nil {
+			return
+		}
+		if len(poly) != degree+1 {
+			t.Fatalf("PolyFit degree %d returned %d coefficients", degree, len(poly))
+		}
+		for i, c := range poly {
+			if !finite(c) {
+				t.Fatalf("PolyFit(%v, %v, %d) coefficient %d = %g with nil error", xs, ys, degree, i, c)
+			}
+		}
+	})
+}
+
+// FuzzChi2 asserts the χ² path never panics, and a nil error implies a
+// finite non-negative statistic and a sane test verdict. The NaN-expected
+// seed reproduces the pre-fix bug: NaN passed the `e <= 0` guard and
+// yielded a NaN statistic with a nil error.
+func FuzzChi2(f *testing.F) {
+	f.Add(byte(14), encodeFloats(0.005, 10, 11, 12, 10.5, 10.2, 12.3))
+	f.Add(byte(14), encodeFloats(0.005, 10, math.NaN())) // NaN expected (the historical bug)
+	f.Add(byte(1), encodeFloats(math.NaN(), 1, 1))       // NaN left tail
+	f.Add(byte(0), encodeFloats(0.5, 1, 1))              // zero degrees of freedom
+	f.Add(byte(5), encodeFloats(0.995, 1e300, 5e-324))   // extreme magnitudes
+	f.Add(byte(3), encodeFloats(0.5, -4, 2))             // negative observed is fine; negative expected is not
+	f.Fuzz(func(t *testing.T, df byte, data []byte) {
+		vs := decodeFloats(data)
+		if len(vs) == 0 {
+			return
+		}
+		leftTail := vs[0]
+		observed, expected := splitXY(vs[1:])
+
+		if stat, err := ChiSquareStat(observed, expected); err == nil {
+			if !finite(stat) || stat < 0 {
+				t.Fatalf("ChiSquareStat(%v, %v) = %g with nil error", observed, expected, stat)
+			}
+		}
+		got, err := ChiSquareTest(observed, expected, int(df), leftTail)
+		if err != nil {
+			return
+		}
+		if !finite(got.Stat) || got.Stat < 0 {
+			t.Fatalf("ChiSquareTest stat %g with nil error", got.Stat)
+		}
+		if math.IsNaN(got.Critical) || got.Critical < 0 {
+			t.Fatalf("ChiSquareTest critical %g with nil error", got.Critical)
+		}
+		if got.Accepted != (got.Stat <= got.Critical) {
+			t.Fatalf("ChiSquareTest verdict inconsistent: %+v", got)
+		}
+	})
+}

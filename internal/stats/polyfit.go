@@ -20,6 +20,29 @@ var ErrUnderdetermined = errors.New("stats: fewer samples than free parameters")
 // e.g. because all sample abscissae coincide.
 var ErrSingular = errors.New("stats: singular system (degenerate samples)")
 
+// ErrNonFinite is returned when a fit or test receives a NaN or ±Inf sample,
+// or when intermediate arithmetic overflows so badly the result would carry
+// non-finite coefficients. Surfaced by fuzzing: NaN inputs previously slid
+// through the `<= 0` style guards (NaN compares false against everything)
+// and produced NaN models without any error.
+var ErrNonFinite = errors.New("stats: non-finite sample or result")
+
+// finite reports whether v is neither NaN nor ±Inf.
+func finite(v float64) bool {
+	return !math.IsNaN(v) && !math.IsInf(v, 0)
+}
+
+// checkFinite returns ErrNonFinite (with context) on the first non-finite
+// value in vs.
+func checkFinite(what string, vs []float64) error {
+	for i, v := range vs {
+		if !finite(v) {
+			return fmt.Errorf("%w: %s[%d] = %g", ErrNonFinite, what, i, v)
+		}
+	}
+	return nil
+}
+
 // Poly is a polynomial c[0] + c[1]·x + c[2]·x² + … with coefficients in
 // ascending-degree order.
 type Poly []float64
@@ -69,6 +92,12 @@ func PolyFit(xs, ys []float64, degree int) (Poly, error) {
 		return nil, fmt.Errorf("%w: need %d samples for degree %d, have %d",
 			ErrUnderdetermined, n, degree, len(xs))
 	}
+	if err := checkFinite("x", xs); err != nil {
+		return nil, err
+	}
+	if err := checkFinite("y", ys); err != nil {
+		return nil, err
+	}
 	// Build the normal equations AᵀA c = Aᵀy where A is the Vandermonde
 	// matrix. AᵀA[i][j] = Σ x^(i+j), Aᵀy[i] = Σ y·x^i.
 	pow := make([]float64, 2*n-1)
@@ -93,6 +122,12 @@ func PolyFit(xs, ys []float64, degree int) (Poly, error) {
 	}
 	c, err := solveAugmented(m)
 	if err != nil {
+		return nil, err
+	}
+	// Finite inputs can still overflow the power sums (|x| ≈ 1e200 squares
+	// past MaxFloat64), leaving Inf/NaN in the normal equations that survive
+	// the pivot check. Refuse to hand back a poisoned model.
+	if err := checkFinite("coefficient", c); err != nil {
 		return nil, err
 	}
 	return Poly(c), nil
