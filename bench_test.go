@@ -11,6 +11,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/orchestrator"
 	"repro/internal/platform"
+	"repro/internal/trace"
 	"repro/internal/workload"
 )
 
@@ -233,6 +234,106 @@ func BenchmarkLocalPacking(b *testing.B) {
 				}
 			}
 		})
+	}
+}
+
+// --- Planner hot-path benches ------------------------------------------------
+//
+// These four pin the amortized-planner work: BenchmarkAdvise is the full
+// modeling-plus-planning pipeline, BenchmarkQoSPlan the Sec. 2.6 weight grid
+// on prebuilt models, BenchmarkPlanMixed the heterogeneous composition
+// search, and BenchmarkBurst the discrete-event burst behind every sweep
+// iteration. REPORT.md and BENCH_PLANNER.json record their trajectory.
+
+// BenchmarkAdvise runs the end-to-end pipeline: interference and scaling
+// probes, model fits, and the Eq. 5–7 degree search.
+func BenchmarkAdvise(b *testing.B) {
+	cfg := platform.AWSLambda()
+	d := VideoWorkload().Demand()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Advise(cfg, d, 5000, Balanced()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// benchModels builds one set of fitted models for planner-only benches.
+func benchModels(b *testing.B) core.Models {
+	b.Helper()
+	cfg := platform.AWSLambda()
+	d := VideoWorkload().Demand()
+	meas := &core.SimMeasurer{Config: cfg, Demand: d, Seed: 1}
+	models, _, _, _, err := core.BuildModels(meas, core.ProfileOptionsFor(cfg, d))
+	if err != nil {
+		b.Fatal(err)
+	}
+	return models
+}
+
+// BenchmarkQoSPlan times the Sec. 2.6 QoS weight search on prebuilt models.
+// The bound is set just above the tightest achievable tail, so the search
+// must walk deep into the weight grid — the paper's W_S=0.65-style regime.
+func BenchmarkQoSPlan(b *testing.B) {
+	models := benchModels(b)
+	const c = 5000
+	tightest, err := models.TailServiceAt(c, core.ServiceOnly(), 95)
+	if err != nil {
+		b.Fatal(err)
+	}
+	qos := tightest * 1.02
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := models.QoSPlan(c, qos, core.QoSOptions{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPlanMixed times the heterogeneous composition search over three
+// applications of contrasting footprints.
+func BenchmarkPlanMixed(b *testing.B) {
+	apps := []core.App{
+		{Name: "video", MemoryMB: 512, Count: 300, ET: core.ETModel{MfuncGB: 0.5, Alpha: 0.35, Intercept: 2.1}},
+		{Name: "sort", MemoryMB: 256, Count: 400, ET: core.ETModel{MfuncGB: 0.25, Alpha: 0.55, Intercept: 1.4}},
+		{Name: "xapian", MemoryMB: 1024, Count: 150, ET: core.ETModel{MfuncGB: 1.0, Alpha: 0.22, Intercept: 1.9}},
+	}
+	opts := core.MixedPlanOptions{
+		InstanceMemoryMB:   10240,
+		MaxExecSec:         900,
+		Weights:            core.Balanced(),
+		Scaling:            core.ScalingModel{B1: 2e-6, B2: 0.004, B3: 0.1},
+		RatePerInstanceSec: 0.0001667,
+		CrossDiscount:      0.2,
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.PlanMixed(apps, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkBurst times the burst inner loop at a packed degree (the planner's
+// recommendation regime), complementing the degree-1 BenchmarkBurst5000.
+func BenchmarkBurst(b *testing.B) {
+	cfg := platform.AWSLambda()
+	d := VideoWorkload().Demand()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		res, err := platform.Run(cfg, platform.Burst{
+			Demand: d, Functions: 5000, Degree: 8, Seed: int64(i),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		// Metrics extraction is part of every sweep iteration; include it so
+		// the quantile-scratch work is measured too.
+		m := trace.FromResult(res)
+		if m.TotalService <= 0 {
+			b.Fatal("degenerate burst")
+		}
 	}
 }
 

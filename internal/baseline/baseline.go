@@ -24,6 +24,7 @@ import (
 	"repro/internal/interfere"
 	"repro/internal/orchestrator"
 	"repro/internal/platform"
+	"repro/internal/stats"
 	"repro/internal/trace"
 )
 
@@ -66,7 +67,7 @@ func (s SerialBatching) Execute(cfg platform.Config, d interfere.Demand, c int, 
 		offset     float64 // virtual time at which the current wave starts
 		firstStart = math.Inf(1)
 		maxStart   float64
-		ends       []float64
+		ends       = make([]float64, 0, c) // one end time per function across waves
 		expense    float64
 		funcSec    float64
 	)
@@ -181,14 +182,7 @@ func metricsFromSpans(platformName string, degree, instances int,
 	firstStart, maxStart float64, ends []float64, expense, funcSec float64) trace.Metrics {
 	sort.Float64s(ends)
 	q := func(p float64) float64 {
-		idx := int(math.Ceil(p/100*float64(len(ends)))) - 1
-		if idx < 0 {
-			idx = 0
-		}
-		if idx >= len(ends) {
-			idx = len(ends) - 1
-		}
-		return ends[idx] - firstStart
+		return stats.QuantileSorted(ends, p) - firstStart
 	}
 	return trace.Metrics{
 		Platform:      platformName,

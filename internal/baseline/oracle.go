@@ -170,7 +170,7 @@ func SweepWithOptions(cfg platform.Config, d interfere.Demand, c int, seed int64
 	if err != nil {
 		return nil, err
 	}
-	var out []trace.Metrics
+	out := make([]trace.Metrics, 0, len(runs))
 	for _, r := range runs {
 		if errors.Is(r.err, platform.ErrExecLimit) {
 			break // higher degrees only get slower; stop the sweep

@@ -153,12 +153,40 @@ type MixedPlanOptions struct {
 	CrossDiscount float64
 }
 
-// heteroCandidate is one packing composition under evaluation.
+// heteroCandidate is one packing composition under evaluation. Bins are not
+// materialized during the search — only the winner's are, from the stored
+// parameters (instance count for "mixed", degree combination for
+// "segregated"), so the candidate sweep allocates nothing per composition.
 type heteroCandidate struct {
 	strategy   string
-	build      func() [][]int // materialize bins only for the winner
+	bins       int   // "mixed": the instance count B
+	comboRank  int   // "segregated": lexicographic rank of the degree combo
+	degrees    []int // "segregated" fallback: explicit degrees (rank unused)
 	serviceSec float64
 	expenseUSD float64
+}
+
+// materialize builds the candidate's bins.
+func (c heteroCandidate) materialize(apps []App, maxDegs []int) [][]int {
+	if c.strategy == "mixed" {
+		return dealCounts(apps, c.bins)
+	}
+	degrees := c.degrees
+	if degrees == nil {
+		degrees = decodeCombo(c.comboRank, maxDegs)
+	}
+	return segregatedBins(apps, degrees)
+}
+
+// decodeCombo inverts the lexicographic rank of a per-app degree
+// combination (degrees are 1-based, app 0 most significant).
+func decodeCombo(rank int, maxDegs []int) []int {
+	degrees := make([]int, len(maxDegs))
+	for k := len(maxDegs) - 1; k >= 0; k-- {
+		degrees[k] = rank%maxDegs[k] + 1
+		rank /= maxDegs[k]
+	}
+	return degrees
 }
 
 // PlanMixed chooses the packing composition for a heterogeneous job from
@@ -192,8 +220,9 @@ func PlanMixed(apps []App, opts MixedPlanOptions) (MixedPlan, error) {
 		return MixedPlan{}, fmt.Errorf("core: invalid mixed-plan options %+v", opts)
 	}
 
+	maxDegs := feasibleDegrees(apps, opts)
 	cands := mixedCandidates(apps, opts)
-	cands = append(cands, segregatedCandidates(apps, opts)...)
+	cands = append(cands, segregatedCandidates(apps, maxDegs, opts)...)
 	if len(cands) == 0 {
 		return MixedPlan{}, fmt.Errorf("core: no feasible heterogeneous packing (memory or latency bound)")
 	}
@@ -214,29 +243,159 @@ func PlanMixed(apps []App, opts MixedPlanOptions) (MixedPlan, error) {
 	}
 	return MixedPlan{
 		Apps:                apps,
-		BinCounts:           best.build(),
+		BinCounts:           best.materialize(apps, maxDegs),
 		Strategy:            best.strategy,
 		PredictedServiceSec: best.serviceSec,
 		PredictedExpenseUSD: best.expenseUSD,
 	}, nil
 }
 
+// feasibleDegrees is the per-app feasible packing-degree ceiling under the
+// instance memory and execution-time limits, or nil if some app cannot run
+// at any degree.
+func feasibleDegrees(apps []App, opts MixedPlanOptions) []int {
+	maxDegs := make([]int, len(apps))
+	for k, a := range apps {
+		md := int(opts.InstanceMemoryMB / a.MemoryMB)
+		for md > 1 && a.ET.At(md) > opts.MaxExecSec {
+			md--
+		}
+		if md < 1 {
+			return nil
+		}
+		maxDegs[k] = md
+	}
+	return maxDegs
+}
+
+// binEval is a memoized per-profile evaluation inside one instance count:
+// the memory footprint and predicted ET of a bin hosting a given count
+// vector.
+type binEval struct {
+	mem float64
+	et  float64
+}
+
 // mixedCandidates evaluates the proportional cross-application composition
 // at every feasible instance count.
+//
+// Hot-path structure: dealCounts gives every bin of an instance count B the
+// per-app count base_k = C_k/B or base_k+1, so a bin's profile is fully
+// described by the bitmask of apps granting it the "+1" remainder. Instead
+// of materializing the B×K count matrix and recomputing PredictMixedET per
+// bin, the sweep derives each bin's mask arithmetically (replicating
+// dealCounts' remainder rotation), memoizes the ET and memory of each
+// distinct mask (≤ 2^K, typically a handful), and updates the running
+// sum/max incrementally. Bin ETs still come from PredictMixedET on the
+// reconstructed count vector, and the sum accumulates in bin order, so
+// every candidate's service and expense are bit-identical to the naive
+// per-bin recomputation. Two bound-based prunes skip infeasible instance
+// counts before any ET evaluation: a memory floor (even the no-remainder
+// bin is too big) and — when every app's fitted pressure is non-negative,
+// so ET is monotone in the counts — an execution-time floor.
 func mixedCandidates(apps []App, opts MixedPlanOptions) []heteroCandidate {
 	totalFuncs := 0
 	var totalMem float64
+	monotone := true
 	for _, a := range apps {
 		totalFuncs += a.Count
 		totalMem += float64(a.Count) * a.MemoryMB
+		if a.logPressure() < 0 {
+			monotone = false
+		}
 	}
 	minBins := int(math.Ceil(totalMem / opts.InstanceMemoryMB))
 	if minBins < 1 {
 		minBins = 1
 	}
 	var cands []heteroCandidate
+	if len(apps) > 63 {
+		// Mask memoization needs one bit per app; beyond that fall back to
+		// the naive per-bin evaluation.
+		return mixedCandidatesNaive(apps, opts, minBins, totalFuncs)
+	}
+	counts := make([]int, len(apps))  // scratch count vector for one mask
+	base := make([]int, len(apps))    // C_k / B for the current B
+	extra := make([]int, len(apps))   // C_k % B
+	offsets := make([]int, len(apps)) // dealCounts' rotating remainder start
+	memo := make(map[uint64]binEval, 8)
 	for b := minBins; b <= totalFuncs; b++ {
-		b := b
+		offset := 0
+		for k, a := range apps {
+			base[k] = a.Count / b
+			extra[k] = a.Count % b
+			offsets[k] = offset
+			offset = (offset + extra[k]) % b
+		}
+		// Prune before any ET work: every bin holds at least the base
+		// counts, so the base profile's memory (and, for monotone pressures,
+		// its ET) floors every bin in this composition.
+		clear(memo)
+		baseEval := evalMask(apps, opts, 0, base, extra, counts)
+		memo[0] = baseEval
+		if baseEval.mem > opts.InstanceMemoryMB {
+			continue
+		}
+		if monotone && baseEval.et > opts.MaxExecSec {
+			continue
+		}
+		feasible := true
+		var maxET, sumET float64
+		for i := 0; i < b; i++ {
+			var mask uint64
+			for k := range apps {
+				if (i-offsets[k]+b)%b < extra[k] {
+					mask |= 1 << uint(k)
+				}
+			}
+			ev, ok := memo[mask]
+			if !ok {
+				ev = evalMask(apps, opts, mask, base, extra, counts)
+				memo[mask] = ev
+			}
+			if ev.mem > opts.InstanceMemoryMB || ev.et > opts.MaxExecSec {
+				feasible = false
+				break
+			}
+			sumET += ev.et
+			if ev.et > maxET {
+				maxET = ev.et
+			}
+		}
+		if !feasible {
+			continue
+		}
+		cands = append(cands, heteroCandidate{
+			strategy:   "mixed",
+			bins:       b,
+			serviceSec: maxET + opts.Scaling.At(float64(b)),
+			expenseUSD: sumET * opts.RatePerInstanceSec,
+		})
+	}
+	return cands
+}
+
+// evalMask reconstructs the count vector of a remainder mask into the
+// scratch slice and evaluates the bin's memory (in app order, exactly as
+// the naive per-bin loop summed it) and predicted ET.
+func evalMask(apps []App, opts MixedPlanOptions, mask uint64, base, extra, counts []int) binEval {
+	var mem float64
+	for k := range apps {
+		n := base[k]
+		if extra[k] > 0 && mask&(1<<uint(k)) != 0 {
+			n++
+		}
+		counts[k] = n
+		mem += float64(n) * apps[k].MemoryMB
+	}
+	return binEval{mem: mem, et: PredictMixedET(apps, counts, opts.CrossDiscount)}
+}
+
+// mixedCandidatesNaive is the reference-shaped evaluation used when there
+// are too many apps for mask memoization (> 63).
+func mixedCandidatesNaive(apps []App, opts MixedPlanOptions, minBins, totalFuncs int) []heteroCandidate {
+	var cands []heteroCandidate
+	for b := minBins; b <= totalFuncs; b++ {
 		counts := dealCounts(apps, b)
 		feasible := true
 		var maxET, sumET float64
@@ -264,7 +423,7 @@ func mixedCandidates(apps []App, opts MixedPlanOptions) []heteroCandidate {
 		}
 		cands = append(cands, heteroCandidate{
 			strategy:   "mixed",
-			build:      func() [][]int { return dealCounts(apps, b) },
+			bins:       b,
 			serviceSec: maxET + opts.Scaling.At(float64(b)),
 			expenseUSD: sumET * opts.RatePerInstanceSec,
 		})
@@ -274,53 +433,20 @@ func mixedCandidates(apps []App, opts MixedPlanOptions) []heteroCandidate {
 
 // segregatedCandidates evaluates per-application bins over every
 // combination of per-app packing degrees (bounded by memory and the
-// execution limit). The joint instance count couples the apps through the
-// scaling model.
-func segregatedCandidates(apps []App, opts MixedPlanOptions) []heteroCandidate {
-	// Feasible degrees per app.
-	maxDegs := make([]int, len(apps))
-	for k, a := range apps {
-		md := int(opts.InstanceMemoryMB / a.MemoryMB)
-		for md > 1 && a.ET.At(md) > opts.MaxExecSec {
-			md--
-		}
-		if md < 1 {
-			return nil // this app cannot run at all
-		}
-		maxDegs[k] = md
-	}
-	var cands []heteroCandidate
-	degrees := make([]int, len(apps))
-	var walk func(k int)
-	walk = func(k int) {
-		if k == len(apps) {
-			bins := 0
-			var maxET, sumET float64
-			for i, a := range apps {
-				d := degrees[i]
-				n := (a.Count + d - 1) / d
-				bins += n
-				et := a.ET.At(d)
-				// The last bin of the app may be partial; approximate its
-				// ET with the full-degree value (pessimistic by ≤ one bin).
-				sumET += float64(n) * et
-				if et > maxET {
-					maxET = et
-				}
-			}
-			chosen := append([]int(nil), degrees...)
-			cands = append(cands, heteroCandidate{
-				strategy:   "segregated",
-				build:      func() [][]int { return segregatedBins(apps, chosen) },
-				serviceSec: maxET + opts.Scaling.At(float64(bins)),
-				expenseUSD: sumET * opts.RatePerInstanceSec,
-			})
-			return
-		}
-		for d := 1; d <= maxDegs[k]; d++ {
-			degrees[k] = d
-			walk(k + 1)
-		}
+// execution limit, precomputed by feasibleDegrees). The joint instance
+// count couples the apps through the scaling model.
+//
+// Hot-path structure: instead of re-deriving every app's ET and bin count
+// at each of the Π maxDegs leaves, each app's per-degree values are
+// tabulated once and the walk threads running (bins, sumET, maxET) prefix
+// accumulators — a leaf only appends a candidate. The accumulators apply
+// the same operations in the same app order as a per-leaf loop would, so
+// every candidate's service and expense are bit-identical to the naive
+// sweep. The winning combination is recovered from its lexicographic rank
+// (app 0 most significant), so the walk allocates nothing per leaf.
+func segregatedCandidates(apps []App, maxDegs []int, opts MixedPlanOptions) []heteroCandidate {
+	if maxDegs == nil {
+		return nil // some app cannot run at all
 	}
 	// Keep the combinatorial walk bounded: with more than 3 apps, fix each
 	// app's degree to its own single-app optimum instead of sweeping.
@@ -332,11 +458,10 @@ func segregatedCandidates(apps []App, opts MixedPlanOptions) []heteroCandidate {
 		}
 	}
 	if combos > 200000 {
+		chosen := make([]int, len(apps))
 		for k, a := range apps {
-			degrees[k] = bestSoloDegree(a, maxDegs[k], opts)
+			chosen[k] = bestSoloDegree(a, maxDegs[k], opts)
 		}
-		walkOnce := degrees
-		chosen := append([]int(nil), walkOnce...)
 		bins := 0
 		var maxET, sumET float64
 		for i, a := range apps {
@@ -351,12 +476,48 @@ func segregatedCandidates(apps []App, opts MixedPlanOptions) []heteroCandidate {
 		}
 		return []heteroCandidate{{
 			strategy:   "segregated",
-			build:      func() [][]int { return segregatedBins(apps, chosen) },
+			degrees:    chosen,
 			serviceSec: maxET + opts.Scaling.At(float64(bins)),
 			expenseUSD: sumET * opts.RatePerInstanceSec,
 		}}
 	}
-	walk(0)
+
+	// Per-app, per-degree tables: ET and instance count at each degree. The
+	// last bin of an app may be partial; its ET is approximated with the
+	// full-degree value (pessimistic by ≤ one bin), matching Eq. 1's use.
+	etTab := make([][]float64, len(apps))
+	nTab := make([][]int, len(apps))
+	for k, a := range apps {
+		etTab[k] = make([]float64, maxDegs[k])
+		nTab[k] = make([]int, maxDegs[k])
+		for d := 1; d <= maxDegs[k]; d++ {
+			etTab[k][d-1] = a.ET.At(d)
+			nTab[k][d-1] = (a.Count + d - 1) / d
+		}
+	}
+	cands := make([]heteroCandidate, 0, combos)
+	var walk func(k, rank, bins int, sumET, maxET float64)
+	walk = func(k, rank, bins int, sumET, maxET float64) {
+		if k == len(apps) {
+			cands = append(cands, heteroCandidate{
+				strategy:   "segregated",
+				comboRank:  rank,
+				serviceSec: maxET + opts.Scaling.At(float64(bins)),
+				expenseUSD: sumET * opts.RatePerInstanceSec,
+			})
+			return
+		}
+		for d := 1; d <= maxDegs[k]; d++ {
+			et := etTab[k][d-1]
+			n := nTab[k][d-1]
+			m := maxET
+			if et > m {
+				m = et
+			}
+			walk(k+1, rank*maxDegs[k]+(d-1), bins+n, sumET+float64(n)*et, m)
+		}
+	}
+	walk(0, 0, 0, 0, 0)
 	return cands
 }
 

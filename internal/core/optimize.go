@@ -2,9 +2,6 @@ package core
 
 import (
 	"fmt"
-	"math"
-
-	"repro/internal/stats"
 )
 
 // Weights are the objective weights of Eq. 7: W_S on service time, W_E on
@@ -38,13 +35,13 @@ func (w Weights) Validate() error {
 // OptimalDegreeService is Eq. 3: the packing degree minimizing modeled
 // total service time at concurrency c.
 func (m Models) OptimalDegreeService(c int) int {
-	return stats.ArgminInt(1, m.MaxDegree, func(p int) float64 { return m.ServiceTime(c, p) })
+	return argminVec(newDegreeTable(m, c).service) + 1
 }
 
 // OptimalDegreeExpense is Eq. 4: the packing degree minimizing modeled
 // expense at concurrency c.
 func (m Models) OptimalDegreeExpense(c int) int {
-	return stats.ArgminInt(1, m.MaxDegree, func(p int) float64 { return m.Expense(c, p) })
+	return argminVec(newDegreeTable(m, c).expense) + 1
 }
 
 // OptimalDegree is Eq. 7: the packing degree minimizing the weighted sum of
@@ -70,14 +67,7 @@ func (m Models) OptimalDegreeForQuantile(c int, q float64, w Weights) (int, erro
 	if q <= 0 || q > 100 {
 		return 0, fmt.Errorf("core: quantile %g outside (0,100]", q)
 	}
-	service := func(p int) float64 { return m.ServiceTimeQuantile(c, p, q) }
-	bestS := service(stats.ArgminInt(1, m.MaxDegree, service)) // S(P_opt_s)
-	bestE := m.Expense(c, m.OptimalDegreeExpense(c))           // E(P_opt_e)
-	return stats.ArgminInt(1, m.MaxDegree, func(p int) float64 {
-		dS := (service(p) - bestS) / bestS      // Eq. 5
-		dE := (m.Expense(c, p) - bestE) / bestE // Eq. 6
-		return w.Service*dS + w.Expense*dE      // Eq. 7 argument
-	}), nil
+	return newDegreeTable(m, c).argminRegret(q, 1, w), nil
 }
 
 // OptimalDegreeConstrained is Eq. 7 restricted to packing degrees whose
@@ -86,34 +76,31 @@ func (m Models) OptimalDegreeForQuantile(c int, q float64, w Weights) (int, erro
 // maxInstances ≤ 0 means unconstrained. It returns an error if even the
 // maximum degree spawns too many instances.
 func (m Models) OptimalDegreeConstrained(c int, w Weights, maxInstances int) (int, error) {
-	if maxInstances <= 0 {
-		return m.OptimalDegree(c, w)
-	}
-	minDegree := (c + maxInstances - 1) / maxInstances
-	if minDegree > m.MaxDegree {
-		return 0, fmt.Errorf("core: concurrency %d cannot fit %d instances even at degree %d",
-			c, maxInstances, m.MaxDegree)
-	}
 	if err := m.Validate(); err != nil {
 		return 0, err
 	}
 	if err := w.Validate(); err != nil {
 		return 0, err
 	}
-	bestS := math.Inf(1)
-	bestE := math.Inf(1)
-	for p := minDegree; p <= m.MaxDegree; p++ {
-		bestS = math.Min(bestS, m.ServiceTime(c, p))
-		bestE = math.Min(bestE, m.Expense(c, p))
+	if c < 1 {
+		return 0, fmt.Errorf("core: concurrency %d < 1", c)
 	}
-	best, bestVal := minDegree, math.Inf(1)
-	for p := minDegree; p <= m.MaxDegree; p++ {
-		v := w.Service*(m.ServiceTime(c, p)-bestS)/bestS + w.Expense*(m.Expense(c, p)-bestE)/bestE
-		if v < bestVal {
-			best, bestVal = p, v
+	return constrainedOn(newDegreeTable(m, c), w, maxInstances)
+}
+
+// constrainedOn is the shared constrained Eq. 7 path: an argmin over the
+// restricted degree range, with the regret baselines (Eqs. 5–6) taken over
+// the same range.
+func constrainedOn(t *DegreeTable, w Weights, maxInstances int) (int, error) {
+	minDegree := 1
+	if maxInstances > 0 {
+		minDegree = (t.c + maxInstances - 1) / maxInstances
+		if minDegree > t.MaxDegree() {
+			return 0, fmt.Errorf("core: concurrency %d cannot fit %d instances even at degree %d",
+				t.c, maxInstances, t.MaxDegree())
 		}
 	}
-	return best, nil
+	return t.argminRegret(100, minDegree, w), nil
 }
 
 // Plan is ProPack's recommendation for running an application at a
@@ -132,17 +119,15 @@ type Plan struct {
 
 // PlanFor computes the full recommendation at concurrency c.
 func (m Models) PlanFor(c int, w Weights) (Plan, error) {
-	deg, err := m.OptimalDegree(c, w)
-	if err != nil {
+	if err := m.Validate(); err != nil {
 		return Plan{}, err
 	}
-	return Plan{
-		Concurrency:         c,
-		Degree:              deg,
-		Weights:             w,
-		PredictedServiceSec: m.ServiceTime(c, deg),
-		PredictedExpenseUSD: m.Expense(c, deg),
-		BaselineServiceSec:  m.ServiceTime(c, 1),
-		BaselineExpenseUSD:  m.Expense(c, 1),
-	}, nil
+	if err := w.Validate(); err != nil {
+		return Plan{}, err
+	}
+	if c < 1 {
+		return Plan{}, fmt.Errorf("core: concurrency %d < 1", c)
+	}
+	t := newDegreeTable(m, c)
+	return t.plan(t.argminRegret(100, 1, w), w), nil
 }

@@ -3,6 +3,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"math"
 )
 
 // ErrQoSInfeasible is returned when no objective weighting keeps the
@@ -19,14 +20,162 @@ type QoSOptions struct {
 	Step float64
 }
 
+// normalize validates the QoS bound and options and applies the defaults.
+func (o QoSOptions) normalize(qosSec float64) (tailQ, step float64, err error) {
+	if qosSec <= 0 {
+		return 0, 0, fmt.Errorf("core: non-positive QoS bound %g", qosSec)
+	}
+	tailQ = o.TailQuantile
+	if tailQ == 0 {
+		tailQ = 95
+	}
+	if tailQ <= 0 || tailQ > 100 {
+		return 0, 0, fmt.Errorf("core: tail quantile %g outside (0,100]", tailQ)
+	}
+	step = o.Step
+	if step == 0 {
+		step = 0.05
+	}
+	if step <= 0 || step > 1 {
+		return 0, 0, fmt.Errorf("core: weight step %g outside (0,1]", step)
+	}
+	return tailQ, step, nil
+}
+
 // TailServiceAt is Eq. 8: the modeled tail service time when the packing
 // degree is chosen by the joint objective with the given weights.
 func (m Models) TailServiceAt(c int, w Weights, tailQuantile float64) (float64, error) {
-	deg, err := m.OptimalDegree(c, w)
-	if err != nil {
+	if err := m.Validate(); err != nil {
 		return 0, err
 	}
-	return m.ServiceTimeQuantile(c, deg, tailQuantile), nil
+	if err := w.Validate(); err != nil {
+		return 0, err
+	}
+	if c < 1 {
+		return 0, fmt.Errorf("core: concurrency %d < 1", c)
+	}
+	t := newDegreeTable(m, c)
+	deg := t.argminRegret(100, 1, w)
+	return t.quantile(tailQuantile).vals[deg-1], nil
+}
+
+// qosGridSize is the number of W_S grid points for a step: the integer grid
+// fix for the old `ws += step` accumulation, which drifted off the exact
+// 0.05 multiples and mutated the loop variable at the clamp. When 1/step is
+// (numerically) an integer the grid is the round(1/step)+1 evenly spaced
+// points from 0 to 1; otherwise the interior multiples of step plus a final
+// point pinned to exactly 1, so the pure-service weighting is always tried
+// before the bound is declared infeasible.
+func qosGridSize(step float64) int {
+	inv := 1 / step
+	if r := math.Round(inv); math.Abs(inv-r) < 1e-9 {
+		return int(r) + 1
+	}
+	return int(math.Floor(inv)) + 2
+}
+
+// qosWeightAt maps a grid index to its weights. The last index is exactly
+// W_S = 1.
+func qosWeightAt(j, n int, step float64) Weights {
+	ws := float64(j) * step
+	if j == n-1 || ws > 1 {
+		ws = 1
+	}
+	return Weights{Service: ws, Expense: 1 - ws}
+}
+
+// qosSearch is the Sec. 2.6 grid search over one shared DegreeTable: find
+// the smallest feasible W_S on the grid. All weight steps reuse the same
+// memoized service/expense/tail vectors, and the search exits early via
+// monotone pruning:
+//
+//   - Infeasibility floor: every grid point's tail is the tail at *some*
+//     degree, so if no degree at all meets the bound the search is
+//     infeasible without scanning the grid. Exact.
+//   - Prefix certificate: by the scalarization exchange argument, the total
+//     service regret dS at the Eq. 7 argmin is non-increasing in W_S, so
+//     every argmin for grid indices ≤ j lies in {degrees with dS ≥
+//     dS(argmin_j)}. If no degree in that set meets the bound, the whole
+//     prefix is infeasible and a binary-searched boundary is the answer.
+//     The certificate threshold carries a small conservative slack because
+//     the theorem is exact for real arithmetic while the argmin is computed
+//     in floats; whenever certification fails, the search falls back to the
+//     plain left-to-right grid scan, which is identical to the naive
+//     implementation by construction.
+func qosSearch(t *DegreeTable, qosSec, tailQ, step float64) (Weights, error) {
+	tail := t.quantile(tailQ).vals
+	infeasible := func() (Weights, error) {
+		return Weights{}, fmt.Errorf("%w: bound %.3gs at concurrency %d", ErrQoSInfeasible, qosSec, t.c)
+	}
+	// Infeasibility floor: no degree meets the bound, so no weighting can.
+	if minOf(tail) > qosSec {
+		return infeasible()
+	}
+
+	n := qosGridSize(step)
+	degs := make([]int, n) // memoized per-index argmin degrees; 0 = unevaluated
+	deg := func(j int) int {
+		if degs[j] == 0 {
+			degs[j] = t.argminRegret(100, 1, qosWeightAt(j, n, step))
+		}
+		return degs[j]
+	}
+	feasible := func(j int) bool { return tail[deg(j)-1] <= qosSec }
+
+	if feasible(0) {
+		return qosWeightAt(0, n, step), nil
+	}
+
+	// prefixInfeasible certifies that every grid index in [0, j] fails the
+	// bound: all their argmins have total-service regret ≥ dS(argmin_j)
+	// (monotone pruning), and no such degree's tail meets the bound.
+	bestS := minOf(t.service)
+	dS := func(i int) float64 { return (t.service[i] - bestS) / bestS }
+	prefixInfeasible := func(j int) bool {
+		thr := dS(deg(j) - 1)
+		thr -= 1e-12 * (1 + math.Abs(thr)) // conservative float slack
+		for i := range tail {
+			if dS(i) >= thr && tail[i] <= qosSec {
+				return false
+			}
+		}
+		return true
+	}
+	// gridScan is the guaranteed-identical fallback: the naive left-to-right
+	// search over the same memoized evaluations.
+	gridScan := func() (Weights, error) {
+		for j := 0; j < n; j++ {
+			if feasible(j) {
+				return qosWeightAt(j, n, step), nil
+			}
+		}
+		return infeasible()
+	}
+
+	if !feasible(n - 1) {
+		// Even W_S=1 misses the bound. Certify the whole grid infeasible, or
+		// fall back to the scan (the bound may be met mid-grid only if the
+		// tail at the argmin is non-monotone in W_S).
+		if prefixInfeasible(n - 1) {
+			return infeasible()
+		}
+		return gridScan()
+	}
+
+	// Binary search for the feasibility boundary: lo infeasible, hi feasible.
+	lo, hi := 0, n-1
+	for hi-lo > 1 {
+		mid := (lo + hi) / 2
+		if feasible(mid) {
+			hi = mid
+		} else {
+			lo = mid
+		}
+	}
+	if prefixInfeasible(hi - 1) {
+		return qosWeightAt(hi, n, step), nil
+	}
+	return gridScan()
 }
 
 // QoSWeights is Eq. 9: find the service-time weight W_S so that the modeled
@@ -36,49 +185,37 @@ func (m Models) TailServiceAt(c int, w Weights, tailQuantile float64) (float64, 
 // W_S = 0.65 for Xapian rather than 1 — shows the intended reading is the
 // minimal weight that meets the bound, which is what we implement.)
 func (m Models) QoSWeights(c int, qosSec float64, opts QoSOptions) (Weights, error) {
-	if qosSec <= 0 {
-		return Weights{}, fmt.Errorf("core: non-positive QoS bound %g", qosSec)
+	tailQ, step, err := opts.normalize(qosSec)
+	if err != nil {
+		return Weights{}, err
 	}
-	q := opts.TailQuantile
-	if q == 0 {
-		q = 95
+	if err := m.Validate(); err != nil {
+		return Weights{}, err
 	}
-	if q <= 0 || q > 100 {
-		return Weights{}, fmt.Errorf("core: tail quantile %g outside (0,100]", q)
+	if c < 1 {
+		return Weights{}, fmt.Errorf("core: concurrency %d < 1", c)
 	}
-	step := opts.Step
-	if step == 0 {
-		step = 0.05
-	}
-	if step <= 0 || step > 1 {
-		return Weights{}, fmt.Errorf("core: weight step %g outside (0,1]", step)
-	}
-	for ws := 0.0; ws <= 1+1e-9; ws += step {
-		if ws > 1 {
-			ws = 1
-		}
-		w := Weights{Service: ws, Expense: 1 - ws}
-		ts, err := m.TailServiceAt(c, w, q)
-		if err != nil {
-			return Weights{}, err
-		}
-		if ts <= qosSec {
-			return w, nil
-		}
-	}
-	return Weights{}, fmt.Errorf("%w: bound %.3gs at concurrency %d", ErrQoSInfeasible, qosSec, c)
+	return qosSearch(newDegreeTable(m, c), qosSec, tailQ, step)
 }
 
 // QoSPlan recommends a packing degree that jointly optimizes service time
-// and expense while keeping the modeled tail latency within qosSec.
+// and expense while keeping the modeled tail latency within qosSec. The
+// weight search and the final plan share one degree table.
 func (m Models) QoSPlan(c int, qosSec float64, opts QoSOptions) (Plan, Weights, error) {
-	w, err := m.QoSWeights(c, qosSec, opts)
+	tailQ, step, err := opts.normalize(qosSec)
 	if err != nil {
 		return Plan{}, Weights{}, err
 	}
-	plan, err := m.PlanFor(c, w)
+	if err := m.Validate(); err != nil {
+		return Plan{}, Weights{}, err
+	}
+	if c < 1 {
+		return Plan{}, Weights{}, fmt.Errorf("core: concurrency %d < 1", c)
+	}
+	t := newDegreeTable(m, c)
+	w, err := qosSearch(t, qosSec, tailQ, step)
 	if err != nil {
 		return Plan{}, Weights{}, err
 	}
-	return plan, w, nil
+	return t.plan(t.argminRegret(100, 1, w), w), w, nil
 }

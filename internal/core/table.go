@@ -1,0 +1,390 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sync"
+)
+
+// The amortized planner hot path. Every Eq. 5–7 entry point needs the same
+// per-degree vectors — ET(P), the instance count, service time (total and
+// at quantiles), and expense — and the naive formulation recomputed them
+// from scratch on every scan: OptimalDegreeForQuantile walked the degree
+// range three times per call, QoSWeights repeated that for every weight
+// step, and sweeps repeated *that* per concurrency and repetition. A
+// DegreeTable computes the vectors once per (Models, concurrency) pair; the
+// planner entry points are argmin scans over precomputed floats, and a
+// TableCache (LRU keyed by concurrency) amortizes tables across calls via
+// the Planner wrapper.
+//
+// Equivalence contract: every table entry is computed with the exact
+// expression the corresponding Models method uses (same operations, same
+// order), so table-backed recommendations are bit-identical to the naive
+// formulation. The property tests in table_equiv_test.go hold the planner
+// to that contract against a retained naive reference.
+
+// DegreeTable holds the per-degree model vectors for one (Models,
+// concurrency) pair. Build it with NewDegreeTable, or let a Planner manage
+// a cache of them. A DegreeTable is safe for concurrent use.
+type DegreeTable struct {
+	m Models
+	c int
+
+	// Per-degree vectors, index p-1 for packing degree p.
+	et       []float64 // Eq. 1: ET(P)
+	inst     []float64 // ceil(c/P), as float (the paper's C/P)
+	service  []float64 // Eq. 3 argument: total (q=100) service time
+	expense  []float64 // Eq. 4 argument: user expense
+
+	svcCol quantileColumn // the q=100 column, aliased to service
+
+	mu        sync.Mutex
+	quantiles map[float64]*quantileColumn // lazily built per requested q
+}
+
+// quantileColumn is one service-time quantile's per-degree vector.
+type quantileColumn struct {
+	vals []float64
+}
+
+// NewDegreeTable validates the models and concurrency and builds the table
+// in one pass over the degree range.
+func NewDegreeTable(m Models, c int) (*DegreeTable, error) {
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	if c < 1 {
+		return nil, fmt.Errorf("core: concurrency %d < 1", c)
+	}
+	return newDegreeTable(m, c), nil
+}
+
+// newDegreeTable builds the table without validation (internal callers
+// validate first, matching each entry point's historical error order). It
+// panics if the degree range is empty, as the naive argmin scan did.
+func newDegreeTable(m Models, c int) *DegreeTable {
+	d := m.MaxDegree
+	if d < 1 {
+		panic("core: degree table over empty degree range")
+	}
+	buf := make([]float64, 4*d)
+	t := &DegreeTable{
+		m:       m,
+		c:       c,
+		et:      buf[:d:d],
+		inst:    buf[d : 2*d : 2*d],
+		service: buf[2*d : 3*d : 3*d],
+		expense: buf[3*d : 4*d : 4*d],
+	}
+	for i := 0; i < d; i++ {
+		p := i + 1
+		et := m.ET.At(p)
+		n := instances(c, p)
+		t.et[i] = et
+		t.inst[i] = n
+		// Same expressions as Models.ServiceTime and Models.Expense — the
+		// bit-identity contract depends on it.
+		t.service[i] = et + m.Scaling.At(n)
+		t.expense[i] = (et*m.RatePerInstanceSec + m.Storage.At(p)) * n
+	}
+	t.svcCol = quantileColumn{vals: t.service}
+	return t
+}
+
+// Concurrency returns the concurrency level the table was built for.
+func (t *DegreeTable) Concurrency() int { return t.c }
+
+// MaxDegree returns the table's degree range (degrees 1..MaxDegree).
+func (t *DegreeTable) MaxDegree() int { return len(t.service) }
+
+// ServiceTime returns the memoized Models.ServiceTime(c, degree).
+func (t *DegreeTable) ServiceTime(degree int) float64 { return t.service[degree-1] }
+
+// Expense returns the memoized Models.Expense(c, degree).
+func (t *DegreeTable) Expense(degree int) float64 { return t.expense[degree-1] }
+
+// ServiceTimeQuantile returns the memoized Models.ServiceTimeQuantile.
+func (t *DegreeTable) ServiceTimeQuantile(degree int, q float64) float64 {
+	return t.quantile(q).vals[degree-1]
+}
+
+// quantile returns the per-degree service-time vector at quantile q,
+// building and caching it on first use. q=100 aliases the service vector
+// (ServiceTimeQuantile reduces to ServiceTime there, including in floats:
+// q/100 is exactly 1).
+func (t *DegreeTable) quantile(q float64) *quantileColumn {
+	if q == 100 {
+		return &t.svcCol
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if col, ok := t.quantiles[q]; ok {
+		return col
+	}
+	vals := make([]float64, len(t.et))
+	qq := q / 100
+	for i := range vals {
+		// Same expression as Models.ServiceTimeQuantile.
+		vals[i] = t.et[i] + t.m.Scaling.At(qq*t.inst[i])
+	}
+	col := &quantileColumn{vals: vals}
+	if t.quantiles == nil {
+		t.quantiles = make(map[float64]*quantileColumn, 2)
+	}
+	t.quantiles[q] = col
+	return col
+}
+
+// minOf returns the minimum of a non-empty vector (ties keep the first,
+// like the naive argmin scan; the value is what matters here).
+func minOf(vals []float64) float64 {
+	best := vals[0]
+	for _, v := range vals[1:] {
+		if v < best {
+			best = v
+		}
+	}
+	return best
+}
+
+// argminRegret is the Eq. 7 scan over the table: the packing degree in
+// [minDeg, MaxDegree] minimizing the weighted sum of fractional regrets
+// from the range's single-objective optima (Eqs. 5–6), with the service
+// objective at quantile q. Ties resolve to the smallest degree, exactly as
+// stats.ArgminInt does.
+func (t *DegreeTable) argminRegret(q float64, minDeg int, w Weights) int {
+	col := t.quantile(q)
+	svc := col.vals[minDeg-1:]
+	exp := t.expense[minDeg-1:]
+	bestS := minOf(svc) // S(P_opt_s) over the range
+	bestE := minOf(exp) // E(P_opt_e) over the range
+	best, bestVal := 0, math.Inf(1)
+	for i, s := range svc {
+		dS := (s - bestS) / bestS      // Eq. 5
+		dE := (exp[i] - bestE) / bestE // Eq. 6
+		if v := w.Service*dS + w.Expense*dE; v < bestVal {
+			best, bestVal = i, v
+		}
+	}
+	return best + minDeg
+}
+
+// plan materializes the Plan for a chosen degree from memoized predictions.
+func (t *DegreeTable) plan(deg int, w Weights) Plan {
+	return Plan{
+		Concurrency:         t.c,
+		Degree:              deg,
+		Weights:             w,
+		PredictedServiceSec: t.service[deg-1],
+		PredictedExpenseUSD: t.expense[deg-1],
+		BaselineServiceSec:  t.service[0],
+		BaselineExpenseUSD:  t.expense[0],
+	}
+}
+
+// --- Table cache -------------------------------------------------------------
+
+// defaultTableCap bounds a Planner's table cache: sweeps revisit a modest
+// set of concurrency levels, and one table is O(MaxDegree) floats.
+const defaultTableCap = 64
+
+// TableCache memoizes DegreeTables for one fixed Models value across
+// concurrency levels, evicting least-recently-used entries beyond its
+// capacity. Safe for concurrent use (experiment grids plan from parallel
+// workers).
+type TableCache struct {
+	mu   sync.Mutex
+	m    Models
+	cap  int
+	tick uint64
+	ents map[int]*cacheEntry
+}
+
+type cacheEntry struct {
+	t    *DegreeTable
+	used uint64
+}
+
+// NewTableCache builds a cache for the models. capacity ≤ 0 means the
+// default (64 concurrency levels).
+func NewTableCache(m Models, capacity int) *TableCache {
+	if capacity <= 0 {
+		capacity = defaultTableCap
+	}
+	return &TableCache{m: m, cap: capacity, ents: make(map[int]*cacheEntry, capacity)}
+}
+
+// Table returns the (possibly cached) table for concurrency c, validating
+// inputs exactly as NewDegreeTable does.
+func (tc *TableCache) Table(c int) (*DegreeTable, error) {
+	if err := tc.m.Validate(); err != nil {
+		return nil, err
+	}
+	if c < 1 {
+		return nil, fmt.Errorf("core: concurrency %d < 1", c)
+	}
+	tc.mu.Lock()
+	defer tc.mu.Unlock()
+	tc.tick++
+	if e, ok := tc.ents[c]; ok {
+		e.used = tc.tick
+		return e.t, nil
+	}
+	if len(tc.ents) >= tc.cap {
+		evict, oldest := 0, uint64(math.MaxUint64)
+		for k, e := range tc.ents {
+			if e.used < oldest {
+				evict, oldest = k, e.used
+			}
+		}
+		delete(tc.ents, evict)
+	}
+	t := newDegreeTable(tc.m, c)
+	tc.ents[c] = &cacheEntry{t: t, used: tc.tick}
+	return t, nil
+}
+
+// Len reports the number of cached tables (for tests and diagnostics).
+func (tc *TableCache) Len() int {
+	tc.mu.Lock()
+	defer tc.mu.Unlock()
+	return len(tc.ents)
+}
+
+// --- Planner -----------------------------------------------------------------
+
+// Planner wraps Models with a table cache so repeated planning calls at the
+// same concurrency — sweeps over weights, quantiles, or repetitions — reuse
+// one DegreeTable instead of rebuilding the model vectors. Every method
+// returns bit-identical results to the corresponding Models method; the
+// only difference is amortization. Safe for concurrent use.
+type Planner struct {
+	m     Models
+	cache *TableCache
+}
+
+// NewPlanner builds a planner with the default cache capacity.
+func NewPlanner(m Models) *Planner {
+	return &Planner{m: m, cache: NewTableCache(m, 0)}
+}
+
+// Models returns the wrapped models.
+func (pl *Planner) Models() Models { return pl.m }
+
+// OptimalDegree is the cached Models.OptimalDegree.
+func (pl *Planner) OptimalDegree(c int, w Weights) (int, error) {
+	return pl.OptimalDegreeForQuantile(c, 100, w)
+}
+
+// OptimalDegreeForQuantile is the cached Models.OptimalDegreeForQuantile.
+func (pl *Planner) OptimalDegreeForQuantile(c int, q float64, w Weights) (int, error) {
+	t, err := pl.table(c, w)
+	if err != nil {
+		return 0, err
+	}
+	if q <= 0 || q > 100 {
+		return 0, fmt.Errorf("core: quantile %g outside (0,100]", q)
+	}
+	return t.argminRegret(q, 1, w), nil
+}
+
+// OptimalDegreeService is the cached Models.OptimalDegreeService.
+func (pl *Planner) OptimalDegreeService(c int) int {
+	t, err := pl.cache.Table(c)
+	if err != nil {
+		panic(err) // mirrors the naive ArgminInt panic contract
+	}
+	return argminVec(t.service) + 1
+}
+
+// OptimalDegreeExpense is the cached Models.OptimalDegreeExpense.
+func (pl *Planner) OptimalDegreeExpense(c int) int {
+	t, err := pl.cache.Table(c)
+	if err != nil {
+		panic(err)
+	}
+	return argminVec(t.expense) + 1
+}
+
+// PlanFor is the cached Models.PlanFor.
+func (pl *Planner) PlanFor(c int, w Weights) (Plan, error) {
+	t, err := pl.table(c, w)
+	if err != nil {
+		return Plan{}, err
+	}
+	return t.plan(t.argminRegret(100, 1, w), w), nil
+}
+
+// OptimalDegreeConstrained is the cached Models.OptimalDegreeConstrained.
+func (pl *Planner) OptimalDegreeConstrained(c int, w Weights, maxInstances int) (int, error) {
+	t, err := pl.table(c, w)
+	if err != nil {
+		return 0, err
+	}
+	return constrainedOn(t, w, maxInstances)
+}
+
+// TailServiceAt is the cached Models.TailServiceAt.
+func (pl *Planner) TailServiceAt(c int, w Weights, tailQuantile float64) (float64, error) {
+	t, err := pl.table(c, w)
+	if err != nil {
+		return 0, err
+	}
+	deg := t.argminRegret(100, 1, w)
+	return t.quantile(tailQuantile).vals[deg-1], nil
+}
+
+// QoSWeights is the cached Models.QoSWeights.
+func (pl *Planner) QoSWeights(c int, qosSec float64, opts QoSOptions) (Weights, error) {
+	tailQ, step, err := opts.normalize(qosSec)
+	if err != nil {
+		return Weights{}, err
+	}
+	t, err := pl.cache.Table(c)
+	if err != nil {
+		return Weights{}, err
+	}
+	return qosSearch(t, qosSec, tailQ, step)
+}
+
+// QoSPlan is the cached Models.QoSPlan.
+func (pl *Planner) QoSPlan(c int, qosSec float64, opts QoSOptions) (Plan, Weights, error) {
+	tailQ, step, err := opts.normalize(qosSec)
+	if err != nil {
+		return Plan{}, Weights{}, err
+	}
+	t, err := pl.cache.Table(c)
+	if err != nil {
+		return Plan{}, Weights{}, err
+	}
+	w, err := qosSearch(t, qosSec, tailQ, step)
+	if err != nil {
+		return Plan{}, Weights{}, err
+	}
+	return t.plan(t.argminRegret(100, 1, w), w), w, nil
+}
+
+// table validates weights alongside the cached table lookup, preserving the
+// naive methods' validation order (models, then weights, then concurrency
+// errors come out of the same checks).
+func (pl *Planner) table(c int, w Weights) (*DegreeTable, error) {
+	if err := pl.m.Validate(); err != nil {
+		return nil, err
+	}
+	if err := w.Validate(); err != nil {
+		return nil, err
+	}
+	return pl.cache.Table(c)
+}
+
+// argminVec is the first-wins argmin over a non-empty vector, matching
+// stats.ArgminInt's tie-breaking.
+func argminVec(vals []float64) int {
+	best, bestVal := 0, vals[0]
+	for i, v := range vals[1:] {
+		if v < bestVal {
+			best, bestVal = i+1, v
+		}
+	}
+	return best
+}

@@ -151,6 +151,10 @@ func Fig20(cfg Config) (*trace.Table, error) {
 	if err != nil {
 		return nil, err
 	}
+	// Every planning call below runs at the same concurrency; a Planner lets
+	// the objectives, the tail probes, and the QoS grid search share one
+	// degree table.
+	pl := core.NewPlanner(models)
 	// (a) the three standing objectives.
 	objectives := []struct {
 		name string
@@ -162,7 +166,7 @@ func Fig20(cfg Config) (*trace.Table, error) {
 	}
 	rows, err := forAll(cfg, len(objectives), func(i int) ([]string, error) {
 		row := objectives[i]
-		deg, err := models.OptimalDegreeForQuantile(c, 95, row.w)
+		deg, err := pl.OptimalDegreeForQuantile(c, 95, row.w)
 		if err != nil {
 			return nil, err
 		}
@@ -182,16 +186,16 @@ func Fig20(cfg Config) (*trace.Table, error) {
 	}
 	// (b) QoS-bounded run: a bound between the best and worst achievable
 	// tails forces a non-trivial weight.
-	bestTail, err := models.TailServiceAt(c, core.ServiceOnly(), 95)
+	bestTail, err := pl.TailServiceAt(c, core.ServiceOnly(), 95)
 	if err != nil {
 		return nil, err
 	}
-	worstTail, err := models.TailServiceAt(c, core.ExpenseOnly(), 95)
+	worstTail, err := pl.TailServiceAt(c, core.ExpenseOnly(), 95)
 	if err != nil {
 		return nil, err
 	}
 	qos := bestTail + 0.25*(worstTail-bestTail)
-	plan, weights, err := models.QoSPlan(c, qos, core.QoSOptions{})
+	plan, weights, err := pl.QoSPlan(c, qos, core.QoSOptions{})
 	if err != nil {
 		return nil, err
 	}

@@ -105,6 +105,7 @@ func Fig8(cfg Config) (*trace.Table, error) {
 		if err != nil {
 			return nil, err
 		}
+		pl := core.NewPlanner(models) // one degree table per concurrency, shared by the three quantiles
 		var out [][]string
 		for _, c := range cfg.concurrencies() {
 			sweep, err := averagedSweep(cfg, p, w.Demand(), c, models.MaxDegree, 3)
@@ -116,7 +117,7 @@ func Fig8(cfg Config) (*trace.Table, error) {
 				q    float64
 			}{{"total", 100}, {"tail", 95}, {"median", 50}} {
 				oracle := oracleFromSweep(sweep, metric.q)
-				pp, err := models.OptimalDegreeForQuantile(c, metric.q, core.Balanced())
+				pp, err := pl.OptimalDegreeForQuantile(c, metric.q, core.Balanced())
 				if err != nil {
 					return nil, err
 				}

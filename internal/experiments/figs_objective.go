@@ -105,6 +105,7 @@ func Fig15(cfg Config) (*trace.Table, error) {
 		if err != nil {
 			return nil, err
 		}
+		pl := core.NewPlanner(models) // both objectives read one table per concurrency
 		var out [][]string
 		for _, c := range cfg.concurrencies() {
 			_, oS, err := (baseline.Oracle{Objective: baseline.MinTotalService}).Search(p, w.Demand(), c, cfg.Seed)
@@ -116,8 +117,8 @@ func Fig15(cfg Config) (*trace.Table, error) {
 				return nil, err
 			}
 			out = append(out, []string{w.Name(), itoa(c),
-				itoa(oS), itoa(models.OptimalDegreeService(c)),
-				itoa(oE), itoa(models.OptimalDegreeExpense(c))})
+				itoa(oS), itoa(pl.OptimalDegreeService(c)),
+				itoa(oE), itoa(pl.OptimalDegreeExpense(c))})
 		}
 		return out, nil
 	})
@@ -151,11 +152,12 @@ func Fig16(cfg Config) (*trace.Table, error) {
 	if err != nil {
 		return nil, err
 	}
+	pl := core.NewPlanner(models) // all weight steps share the table at c
 	wss := []float64{0.1, 0.3, 0.5, 0.7, 0.9}
 	rows, err := forAll(cfg, len(wss), func(i int) ([]string, error) {
 		ws := wss[i]
 		weights := core.Weights{Service: ws, Expense: 1 - ws}
-		deg, err := models.OptimalDegree(c, weights)
+		deg, err := pl.OptimalDegree(c, weights)
 		if err != nil {
 			return nil, err
 		}

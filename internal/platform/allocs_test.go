@@ -1,0 +1,54 @@
+package platform
+
+import (
+	"testing"
+
+	"repro/internal/interfere"
+)
+
+// The burst hot path is allocation-lean: no per-instance degree slice, a
+// single reused billing group descriptor, and one gather-and-sort for
+// multi-quantile metrics. These regression bounds hold the line — the
+// simulator's event closures dominate what remains (≈19 objects per
+// instance when the bound was set), so a return of per-instance scratch
+// allocations shows up immediately.
+
+func TestRunAllocationLean(t *testing.T) {
+	cfg := AWSLambda()
+	d := interfere.Demand{CPUSeconds: 30, IOSeconds: 20, MemoryMB: 300, MemBWMBps: 2000}
+	b := Burst{Demand: d, Functions: 2000, Degree: 8, Seed: 1}
+	if _, err := Run(cfg, b); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(5, func() {
+		if _, err := Run(cfg, b); err != nil {
+			t.Error(err)
+		}
+	})
+	per := allocs / float64(b.Instances())
+	if per > 24 {
+		t.Errorf("Run allocates %.1f objects per instance (%.0f total), want ≤ 24", per, allocs)
+	}
+}
+
+func TestServiceTimeQuantilesAllocationLean(t *testing.T) {
+	cfg := AWSLambda()
+	d := interfere.Demand{CPUSeconds: 30, IOSeconds: 20, MemoryMB: 300, MemBWMBps: 2000}
+	res, err := Run(cfg, Burst{Demand: d, Functions: 2000, Degree: 8, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One gather + one sort + one result slice, regardless of how many
+	// quantiles are requested.
+	allocs := testing.AllocsPerRun(20, func() {
+		res.ServiceTimeAtQuantiles(95, 50)
+	})
+	if allocs > 4 {
+		t.Errorf("ServiceTimeAtQuantiles allocates %.0f objects per call, want ≤ 4", allocs)
+	}
+	// And both answers must agree with the single-quantile path.
+	sv := res.ServiceTimeAtQuantiles(95, 50)
+	if sv[0] != res.ServiceTimeAtQuantile(95) || sv[1] != res.ServiceTimeAtQuantile(50) {
+		t.Errorf("multi-quantile answers %v disagree with single-quantile path", sv)
+	}
+}

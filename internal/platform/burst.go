@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sort"
 
 	"repro/internal/interfere"
 	"repro/internal/obs"
@@ -176,40 +177,39 @@ func Run(cfg Config, b Burst) (*Result, error) {
 		return nil, err
 	}
 	n := b.Instances()
-	degrees := make([]int, n)
+	// Execution durations are determined before the control-plane race so
+	// any platform-limit violation fails fast and deterministically. All but
+	// the last instance hold exactly Degree functions, so the per-instance
+	// degree is derived arithmetically instead of via a materialized slice.
+	rng := sim.Stream(b.Seed, hashName(cfg.Name))
+	execs := make([]float64, n)
+	timelines := make([]Timeline, n)
 	remaining := b.Functions
-	for i := range degrees {
+	for i := 0; i < n; i++ {
 		d := b.Degree
 		if remaining < d {
 			d = remaining
 		}
-		degrees[i] = d
 		remaining -= d
-	}
-
-	// Execution durations are determined before the control-plane race so
-	// any platform-limit violation fails fast and deterministically.
-	rng := sim.Stream(b.Seed, hashName(cfg.Name))
-	execs := make([]float64, n)
-	for i, d := range degrees {
 		base := interfere.ExecSeconds(b.Demand, cfg.Shape, d)
 		if base > cfg.MaxExecSec {
 			return nil, fmt.Errorf("%w: degree %d needs %.1fs > %.0fs on %s",
 				ErrExecLimit, d, base, cfg.MaxExecSec, cfg.Name)
 		}
 		execs[i] = base * rng.Jitter(cfg.JitterRel)
+		timelines[i] = Timeline{Index: i, Degree: d, Warm: i < b.Warm}
 	}
 
-	timelines := make([]Timeline, n)
-	for i := range timelines {
-		timelines[i] = Timeline{Index: i, Degree: degrees[i], Warm: i < b.Warm}
-	}
 	res, err := runControlPlane(cfg, b, timelines, execs, rng)
 	if err != nil {
 		return nil, err
 	}
+	// All instances share one demand, so billing reuses a single group
+	// descriptor instead of allocating one per instance.
+	group := []demandGroup{{d: b.Demand}}
 	res.bill(func(i int) []demandGroup {
-		return []demandGroup{{d: b.Demand, n: timelines[i].Degree}}
+		group[0].n = timelines[i].Degree
+		return group
 	})
 	return res, nil
 }
@@ -654,11 +654,24 @@ func (r *Result) TotalServiceTime() float64 {
 // finished, measured from the first start (q=95 is the paper's "tail",
 // q=50 its "median" service time).
 func (r *Result) ServiceTimeAtQuantile(q float64) float64 {
+	return r.ServiceTimeAtQuantiles(q)[0]
+}
+
+// ServiceTimeAtQuantiles answers several service-time quantiles from one
+// gather-and-sort of the instance end times — callers reporting tail and
+// median together pay a single sort instead of one per quantile.
+func (r *Result) ServiceTimeAtQuantiles(qs ...float64) []float64 {
 	ends := make([]float64, len(r.Timelines))
 	for i, t := range r.Timelines {
 		ends[i] = t.End
 	}
-	return stats.Quantile(ends, q) - r.firstStart()
+	sort.Float64s(ends)
+	first := r.firstStart()
+	out := make([]float64, len(qs))
+	for i, q := range qs {
+		out[i] = stats.QuantileSorted(ends, q) - first
+	}
+	return out
 }
 
 // FunctionSeconds is the summed execution time across all instances — the

@@ -45,14 +45,16 @@ func FromResult(r *platform.Result) Metrics {
 	for _, tl := range r.Timelines {
 		failedSec += tl.FailedSec
 	}
+	// Tail and median come from one gather-and-sort of the end times.
+	svc := r.ServiceTimeAtQuantiles(95, 50)
 	return Metrics{
 		Platform:       r.Config.Name,
 		Degree:         r.Burst.Degree, // 0 for heterogeneous (mixed) bursts
 		Instances:      r.Instances(),
 		ScalingTime:    r.ScalingTime(),
 		TotalService:   r.TotalServiceTime(),
-		TailService:    r.ServiceTimeAtQuantile(95),
-		MedianService:  r.ServiceTimeAtQuantile(50),
+		TailService:    svc[0],
+		MedianService:  svc[1],
 		ExpenseUSD:     r.ExpenseUSD(),
 		FunctionHours:  r.FunctionSeconds() / 3600,
 		MeanExecSec:    r.MeanExecSeconds(),

@@ -58,6 +58,13 @@ type (
 	Workload = workload.Workload
 	// QoSOptions configures the Sec. 2.6 tail-latency-bounded planning.
 	QoSOptions = core.QoSOptions
+	// Planner wraps Models with a per-concurrency table cache so repeated
+	// planning calls (weight sweeps, quantile sweeps, QoS searches) amortize
+	// the model evaluation; results are bit-identical to the Models methods.
+	Planner = core.Planner
+	// DegreeTable is one cached per-concurrency model table (the Planner's
+	// unit of memoization), usable directly for custom degree scans.
+	DegreeTable = core.DegreeTable
 	// FailureModel describes mid-execution crashes for reliability-aware
 	// planning (see AdviseReliable).
 	FailureModel = core.FailureModel
@@ -78,6 +85,10 @@ const (
 	BackoffExponential  = resilience.Exponential
 	BackoffDecorrelated = resilience.Decorrelated
 )
+
+// NewPlanner builds a Planner over fitted models (e.g. from Advise's
+// Recommendation.Models) for amortized repeated planning.
+var NewPlanner = core.NewPlanner
 
 // Objective weight presets (Sec. 2.5).
 var (
