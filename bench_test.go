@@ -337,6 +337,34 @@ func BenchmarkBurst(b *testing.B) {
 	}
 }
 
+// BenchmarkPlannerConcurrent serves planner lookups from all procs at once
+// through one shared Planner — the concurrent-serving regime the sharded,
+// lock-free table cache exists for. Run with -cpu 1,2,4 to see scaling;
+// before the sharded cache every goroutine serialized on one mutex.
+func BenchmarkPlannerConcurrent(b *testing.B) {
+	models := benchModels(b)
+	pl := core.NewPlanner(models)
+	concurrencies := []int{500, 1000, 2500, 5000, 7500, 10000}
+	// Warm every table so the measurement is the steady-state hit path.
+	for _, c := range concurrencies {
+		if _, err := pl.PlanFor(c, core.Balanced()); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			c := concurrencies[i%len(concurrencies)]
+			if _, err := pl.PlanFor(c, core.Balanced()); err != nil {
+				b.Fatal(err)
+			}
+			i++
+		}
+	})
+}
+
 // --- Parallel sweep engine benches ------------------------------------------
 //
 // BenchmarkSweepSequential vs BenchmarkSweepParallel measure the speedup of

@@ -348,7 +348,7 @@ func cmdSweep(args []string) error {
 	c := fs.Int("c", 2000, "concurrency level")
 	jsonOut := fs.Bool("json", false, "emit one JSON line of metrics per degree on stdout")
 	seed := fs.Int64("seed", 1, "simulation seed")
-	workers := fs.Int("workers", 0, "parallel workers over packing degrees (0 = GOMAXPROCS, 1 = sequential; output is identical for any value)")
+	workers := fs.Int("workers", 0, "parallel workers over packing degrees; the default 0 uses one worker per core (bounded by GOMAXPROCS), and -workers 1 reproduces fully sequential execution for debugging — output is byte-identical for any value")
 	setupObs := obsFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -447,7 +447,7 @@ func cmdHetero(args []string) error {
 	plat := fs.String("platform", "aws", "platform: aws, google, azure, funcx")
 	ws := fs.Float64("ws", 0.5, "service-time weight W_S")
 	seed := fs.Int64("seed", 1, "simulation seed")
-	workers := fs.Int("workers", 0, "parallel workers over the three deployments (0 = GOMAXPROCS, 1 = sequential; output is identical for any value)")
+	workers := fs.Int("workers", 0, "parallel workers over the three deployments; the default 0 uses one worker per core (bounded by GOMAXPROCS), and -workers 1 reproduces fully sequential execution for debugging — output is byte-identical for any value")
 	setupObs := obsFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err

@@ -22,7 +22,10 @@ type SimMeasurer struct {
 	lastStorageUSD float64
 }
 
-var _ Measurer = (*SimMeasurer)(nil)
+var (
+	_ Measurer           = (*SimMeasurer)(nil)
+	_ ConcurrentMeasurer = (*SimMeasurer)(nil)
+)
 
 // MeasureExec implements Measurer by running a single instance packed at
 // the given degree. A degree whose execution would exceed the platform's
@@ -30,20 +33,45 @@ var _ Measurer = (*SimMeasurer)(nil)
 // P_max^deg.
 func (s *SimMeasurer) MeasureExec(degree int) (float64, error) {
 	s.calls++
+	et, storage, err := s.execProbe(degree, s.calls)
+	if err != nil {
+		return 0, err
+	}
+	s.lastStorageUSD = storage
+	return et, nil
+}
+
+// MeasureExecCall implements ConcurrentMeasurer: the call-th probe of a
+// probe train, as a pure function of (degree, call) — safe to run from any
+// goroutine in any order. The probe seed is exactly the one the call-th
+// sequential MeasureExec would have drawn, so the concurrent fan-out is
+// bit-identical to the sequential train.
+func (s *SimMeasurer) MeasureExecCall(degree, call int) (float64, float64, error) {
+	return s.execProbe(degree, s.calls+int64(call))
+}
+
+// AdvanceCalls implements ConcurrentMeasurer: after a fanned-out probe
+// train, the call counter catches up to where the sequential train would
+// have left it, keeping later direct MeasureExec calls (the ablation
+// drivers' truth probes) on the historical seed schedule.
+func (s *SimMeasurer) AdvanceCalls(n int) { s.calls += int64(n) }
+
+// execProbe runs one interference probe with the seed schedule shared by
+// the sequential and concurrent probe paths.
+func (s *SimMeasurer) execProbe(degree int, call int64) (float64, float64, error) {
 	res, err := platform.Run(s.Config, platform.Burst{
 		Demand:    s.Demand,
 		Functions: degree,
 		Degree:    degree,
-		Seed:      s.Seed + int64(degree) + 7907*s.calls,
+		Seed:      s.Seed + int64(degree) + 7907*call,
 	})
 	if errors.Is(err, platform.ErrExecLimit) {
-		return 0, fmt.Errorf("%w: %v", ErrDegreeInfeasible, err)
+		return 0, 0, fmt.Errorf("%w: %v", ErrDegreeInfeasible, err)
 	}
 	if err != nil {
-		return 0, err
+		return 0, 0, err
 	}
-	s.lastStorageUSD = res.StorageUSD + res.RequestUSD
-	return res.MeanExecSeconds(), nil
+	return res.MeanExecSeconds(), res.StorageUSD + res.RequestUSD, nil
 }
 
 // LastProbeStorageUSD implements CostMeasurer: the non-compute bill of the

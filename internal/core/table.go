@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"sync"
+	"sync/atomic"
 )
 
 // The amortized planner hot path. Every Eq. 5–7 entry point needs the same
@@ -31,10 +32,10 @@ type DegreeTable struct {
 	c int
 
 	// Per-degree vectors, index p-1 for packing degree p.
-	et       []float64 // Eq. 1: ET(P)
-	inst     []float64 // ceil(c/P), as float (the paper's C/P)
-	service  []float64 // Eq. 3 argument: total (q=100) service time
-	expense  []float64 // Eq. 4 argument: user expense
+	et      []float64 // Eq. 1: ET(P)
+	inst    []float64 // ceil(c/P), as float (the paper's C/P)
+	service []float64 // Eq. 3 argument: total (q=100) service time
+	expense []float64 // Eq. 4 argument: user expense
 
 	svcCol quantileColumn // the q=100 column, aliased to service
 
@@ -188,21 +189,47 @@ func (t *DegreeTable) plan(deg int, w Weights) Plan {
 // set of concurrency levels, and one table is O(MaxDegree) floats.
 const defaultTableCap = 64
 
+// tableShards is the shard count for caches large enough to split. Sixteen
+// shards keep write contention negligible for any realistic core count
+// while staying small enough that the default capacity still gives each
+// shard a useful LRU window.
+const tableShards = 16
+
 // TableCache memoizes DegreeTables for one fixed Models value across
 // concurrency levels, evicting least-recently-used entries beyond its
-// capacity. Safe for concurrent use (experiment grids plan from parallel
-// workers).
+// capacity. Safe for concurrent use; the concurrent-serving path is lock
+// free. A hit loads an immutable map snapshot published with an atomic
+// pointer and bumps the entry's recency stamp with an atomic store — no
+// mutex, so concurrent Advise/QoSPlan callers on distinct cores never
+// serialize. Misses take a per-shard mutex only to install a placeholder;
+// the table itself is built outside every lock, and concurrent requests for
+// the same concurrency coalesce on the placeholder (singleflight) so a
+// stampede builds each table exactly once.
+//
+// Capacity is apportioned across shards, so with more than one shard
+// eviction is least-recently-used per shard rather than globally — a cache
+// at least as large (shards round the per-shard capacity up) with the same
+// hit behaviour on sweep-style reuse. Small capacities (< 2·tableShards)
+// keep a single shard and therefore exact global LRU order.
 type TableCache struct {
-	mu   sync.Mutex
-	m    Models
-	cap  int
-	tick uint64
-	ents map[int]*cacheEntry
+	m      Models
+	shards []tableShard
+	tick   atomic.Uint64 // global recency clock, shared by all shards
+	builds atomic.Uint64 // tables actually constructed (singleflight audit)
 }
 
+type tableShard struct {
+	read atomic.Pointer[map[int]*cacheEntry] // immutable snapshot; copy-on-write
+	mu   sync.Mutex                          // guards snapshot replacement
+	cap  int
+}
+
+// cacheEntry is one cached (or in-flight) table. ready is closed once t is
+// set; hitters on an in-flight entry wait on it instead of rebuilding.
 type cacheEntry struct {
-	t    *DegreeTable
-	used uint64
+	used  atomic.Uint64
+	ready chan struct{}
+	t     atomic.Pointer[DegreeTable]
 }
 
 // NewTableCache builds a cache for the models. capacity ≤ 0 means the
@@ -211,7 +238,32 @@ func NewTableCache(m Models, capacity int) *TableCache {
 	if capacity <= 0 {
 		capacity = defaultTableCap
 	}
-	return &TableCache{m: m, cap: capacity, ents: make(map[int]*cacheEntry, capacity)}
+	n := tableShards
+	if capacity < 2*tableShards {
+		n = 1 // too small to split: keep exact global LRU
+	}
+	tc := &TableCache{m: m, shards: make([]tableShard, n)}
+	perShard := (capacity + n - 1) / n
+	for i := range tc.shards {
+		tc.shards[i].cap = perShard
+		empty := make(map[int]*cacheEntry)
+		tc.shards[i].read.Store(&empty)
+	}
+	return tc
+}
+
+// shardOf maps a concurrency level to its shard via SplitMix64-style
+// mixing, so arithmetic sweeps (100, 200, 300, …) spread instead of
+// clustering.
+func (tc *TableCache) shardOf(c int) *tableShard {
+	if len(tc.shards) == 1 {
+		return &tc.shards[0]
+	}
+	z := uint64(c) + 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	z ^= z >> 31
+	return &tc.shards[z%uint64(len(tc.shards))]
 }
 
 // Table returns the (possibly cached) table for concurrency c, validating
@@ -223,33 +275,70 @@ func (tc *TableCache) Table(c int) (*DegreeTable, error) {
 	if c < 1 {
 		return nil, fmt.Errorf("core: concurrency %d < 1", c)
 	}
-	tc.mu.Lock()
-	defer tc.mu.Unlock()
-	tc.tick++
-	if e, ok := tc.ents[c]; ok {
-		e.used = tc.tick
-		return e.t, nil
+	sh := tc.shardOf(c)
+	if e, ok := (*sh.read.Load())[c]; ok {
+		return tc.hit(e), nil
 	}
-	if len(tc.ents) >= tc.cap {
+	sh.mu.Lock()
+	snap := *sh.read.Load()
+	if e, ok := snap[c]; ok {
+		sh.mu.Unlock()
+		return tc.hit(e), nil
+	}
+	// Install an in-flight placeholder in a fresh snapshot, then build the
+	// table outside the lock so other shard keys proceed undisturbed and
+	// same-key callers coalesce on the placeholder.
+	e := &cacheEntry{ready: make(chan struct{})}
+	e.used.Store(tc.tick.Add(1))
+	next := make(map[int]*cacheEntry, len(snap)+1)
+	for k, v := range snap {
+		next[k] = v
+	}
+	if len(next) >= sh.cap {
 		evict, oldest := 0, uint64(math.MaxUint64)
-		for k, e := range tc.ents {
-			if e.used < oldest {
-				evict, oldest = k, e.used
+		for k, v := range next {
+			if u := v.used.Load(); u < oldest {
+				evict, oldest = k, u
 			}
 		}
-		delete(tc.ents, evict)
+		delete(next, evict)
 	}
+	next[c] = e
+	sh.read.Store(&next)
+	sh.mu.Unlock()
+
 	t := newDegreeTable(tc.m, c)
-	tc.ents[c] = &cacheEntry{t: t, used: tc.tick}
+	tc.builds.Add(1)
+	e.t.Store(t)
+	close(e.ready)
 	return t, nil
+}
+
+// hit bumps an entry's recency and returns its table, waiting out an
+// in-flight build if necessary.
+func (tc *TableCache) hit(e *cacheEntry) *DegreeTable {
+	e.used.Store(tc.tick.Add(1))
+	if t := e.t.Load(); t != nil {
+		return t
+	}
+	<-e.ready
+	return e.t.Load()
 }
 
 // Len reports the number of cached tables (for tests and diagnostics).
 func (tc *TableCache) Len() int {
-	tc.mu.Lock()
-	defer tc.mu.Unlock()
-	return len(tc.ents)
+	n := 0
+	for i := range tc.shards {
+		n += len(*tc.shards[i].read.Load())
+	}
+	return n
 }
+
+// Builds reports how many tables the cache has constructed since creation.
+// With singleflight coalescing it equals the number of distinct concurrency
+// levels requested (absent evictions) no matter how many goroutines raced —
+// the concurrency stress tests assert exactly that.
+func (tc *TableCache) Builds() uint64 { return tc.builds.Load() }
 
 // --- Planner -----------------------------------------------------------------
 

@@ -123,72 +123,63 @@ func (h *Histogram) Buckets() (bounds []float64, counts []uint64) {
 
 // Registry is an in-process metrics registry: named counters, gauges, and
 // fixed-bucket histograms. All methods are safe for concurrent use; metric
-// handles are created on first touch and stable thereafter.
+// handles are created on first touch and stable thereafter. Lookups on the
+// hot increment path (every burst event under a RegistryRecorder) ride
+// sync.Map's lock-free read fast path: after a metric's first touch, no
+// Registry method takes a lock to reach it, so recorders on different
+// goroutines never contend.
 type Registry struct {
-	mu       sync.Mutex
-	counters map[string]*Counter
-	gauges   map[string]*Gauge
-	hists    map[string]*Histogram
+	counters sync.Map // string → *Counter
+	gauges   sync.Map // string → *Gauge
+	hists    sync.Map // string → *Histogram
 }
 
 // NewRegistry returns an empty registry.
-func NewRegistry() *Registry {
-	return &Registry{
-		counters: map[string]*Counter{},
-		gauges:   map[string]*Gauge{},
-		hists:    map[string]*Histogram{},
-	}
-}
+func NewRegistry() *Registry { return &Registry{} }
 
 // Counter returns the named counter, creating it if needed.
 func (r *Registry) Counter(name string) *Counter {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	c, ok := r.counters[name]
-	if !ok {
-		c = &Counter{}
-		r.counters[name] = c
+	if c, ok := r.counters.Load(name); ok {
+		return c.(*Counter)
 	}
-	return c
+	c, _ := r.counters.LoadOrStore(name, &Counter{})
+	return c.(*Counter)
 }
 
 // Gauge returns the named gauge, creating it if needed.
 func (r *Registry) Gauge(name string) *Gauge {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	g, ok := r.gauges[name]
-	if !ok {
-		g = &Gauge{}
-		r.gauges[name] = g
+	if g, ok := r.gauges.Load(name); ok {
+		return g.(*Gauge)
 	}
-	return g
+	g, _ := r.gauges.LoadOrStore(name, &Gauge{})
+	return g.(*Gauge)
 }
 
 // Histogram returns the named histogram, creating it with the given bounds
 // if needed (nil bounds mean DefaultLatencyBuckets). Bounds are fixed at
-// creation; later calls ignore the argument.
+// creation; later calls ignore the argument. (A racing first touch may
+// build a histogram that loses the LoadOrStore and is dropped — the winner
+// is the stable handle.)
 func (r *Registry) Histogram(name string, bounds []float64) *Histogram {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	h, ok := r.hists[name]
-	if !ok {
-		if bounds == nil {
-			bounds = DefaultLatencyBuckets
-		}
-		h = &Histogram{
-			bounds: append([]float64(nil), bounds...),
-			counts: make([]uint64, len(bounds)+1),
-		}
-		r.hists[name] = h
+	if h, ok := r.hists.Load(name); ok {
+		return h.(*Histogram)
 	}
-	return h
+	if bounds == nil {
+		bounds = DefaultLatencyBuckets
+	}
+	fresh := &Histogram{
+		bounds: append([]float64(nil), bounds...),
+		counts: make([]uint64, len(bounds)+1),
+	}
+	h, _ := r.hists.LoadOrStore(name, fresh)
+	return h.(*Histogram)
 }
 
 // Snapshot is a point-in-time, sorted view of every metric, for printing and
 // expvar export.
 type Snapshot struct {
-	Counters map[string]int64   `json:"counters"`
-	Gauges   map[string]float64 `json:"gauges"`
+	Counters map[string]int64        `json:"counters"`
+	Gauges   map[string]float64      `json:"gauges"`
 	Hists    map[string]HistSnapshot `json:"histograms"`
 }
 
@@ -204,38 +195,27 @@ type HistSnapshot struct {
 
 // Snapshot captures the current metric values.
 func (r *Registry) Snapshot() Snapshot {
-	r.mu.Lock()
-	counters := make(map[string]*Counter, len(r.counters))
-	for k, v := range r.counters {
-		counters[k] = v
-	}
-	gauges := make(map[string]*Gauge, len(r.gauges))
-	for k, v := range r.gauges {
-		gauges[k] = v
-	}
-	hists := make(map[string]*Histogram, len(r.hists))
-	for k, v := range r.hists {
-		hists[k] = v
-	}
-	r.mu.Unlock()
-
 	snap := Snapshot{
-		Counters: make(map[string]int64, len(counters)),
-		Gauges:   make(map[string]float64, len(gauges)),
-		Hists:    make(map[string]HistSnapshot, len(hists)),
+		Counters: map[string]int64{},
+		Gauges:   map[string]float64{},
+		Hists:    map[string]HistSnapshot{},
 	}
-	for k, c := range counters {
-		snap.Counters[k] = c.Value()
-	}
-	for k, g := range gauges {
-		snap.Gauges[k] = g.Value()
-	}
-	for k, h := range hists {
-		snap.Hists[k] = HistSnapshot{
+	r.counters.Range(func(k, v any) bool {
+		snap.Counters[k.(string)] = v.(*Counter).Value()
+		return true
+	})
+	r.gauges.Range(func(k, v any) bool {
+		snap.Gauges[k.(string)] = v.(*Gauge).Value()
+		return true
+	})
+	r.hists.Range(func(k, v any) bool {
+		h := v.(*Histogram)
+		snap.Hists[k.(string)] = HistSnapshot{
 			Count: h.Count(), Sum: h.Sum(), Mean: h.Mean(),
 			P50: h.Quantile(50), P95: h.Quantile(95), Max: h.Max(),
 		}
-	}
+		return true
+	})
 	return snap
 }
 
@@ -290,14 +270,52 @@ func (rr RegistryRecorder) BeginBurst(b BurstInfo) {
 	rr.Reg.Gauge("last_burst_instances").Set(float64(b.Instances))
 }
 
+// stageMetricNames and eventMetricNames precompute the per-stage and
+// per-kind metric names so the recorder's hot path does no string
+// concatenation (one allocation per span/event otherwise).
+var (
+	stageMetricNames = func() [numStages]string {
+		var names [numStages]string
+		for i := range names {
+			names[i] = "stage_seconds_" + Stage(i).String()
+		}
+		return names
+	}()
+	eventMetricNames = func() [numEventKinds]string {
+		var names [numEventKinds]string
+		for i := range names {
+			names[i] = "events_" + EventKind(i).String()
+		}
+		return names
+	}()
+)
+
+// stageMetricName returns "stage_seconds_<stage>" without allocating for
+// known stages.
+func stageMetricName(s Stage) string {
+	if int(s) < len(stageMetricNames) {
+		return stageMetricNames[s]
+	}
+	return "stage_seconds_" + s.String()
+}
+
+// eventMetricName returns "events_<kind>" without allocating for known
+// kinds.
+func eventMetricName(k EventKind) string {
+	if int(k) < len(eventMetricNames) {
+		return eventMetricNames[k]
+	}
+	return "events_" + k.String()
+}
+
 // Span implements Recorder.
 func (rr RegistryRecorder) Span(s Span) {
-	rr.Reg.Histogram("stage_seconds_"+s.Stage.String(), nil).Observe(s.DurSec())
+	rr.Reg.Histogram(stageMetricName(s.Stage), nil).Observe(s.DurSec())
 }
 
 // Event implements Recorder.
 func (rr RegistryRecorder) Event(e Event) {
-	rr.Reg.Counter("events_" + e.Kind.String()).Inc()
+	rr.Reg.Counter(eventMetricName(e.Kind)).Inc()
 	if e.DurSec > 0 {
 		switch e.Kind {
 		case EventCrash, EventTimeout, EventHedgeWaste:

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync"
 
 	"repro/internal/interfere"
 	"repro/internal/obs"
@@ -180,27 +181,44 @@ func Run(cfg Config, b Burst) (*Result, error) {
 	// Execution durations are determined before the control-plane race so
 	// any platform-limit violation fails fast and deterministically. All but
 	// the last instance hold exactly Degree functions, so the per-instance
-	// degree is derived arithmetically instead of via a materialized slice.
+	// degree is derived arithmetically instead of via a materialized slice —
+	// and the interference model is evaluated once per distinct degree (two
+	// at most) instead of once per instance. The jitter draws stay on the
+	// burst's single sequential stream, so results are bit-identical to the
+	// historical per-instance loop.
 	rng := sim.Stream(b.Seed, hashName(cfg.Name))
-	execs := make([]float64, n)
+	sc := newRunScratch(n)
+	defer sc.release()
+	execs := sc.execs
 	timelines := make([]Timeline, n)
-	remaining := b.Functions
-	for i := 0; i < n; i++ {
-		d := b.Degree
-		if remaining < d {
-			d = remaining
-		}
-		remaining -= d
-		base := interfere.ExecSeconds(b.Demand, cfg.Shape, d)
-		if base > cfg.MaxExecSec {
+	fullDeg := b.Degree
+	lastDeg := b.Functions - (n-1)*b.Degree
+	var fullBase float64
+	if n > 1 {
+		fullBase = interfere.ExecSeconds(b.Demand, cfg.Shape, fullDeg)
+		if fullBase > cfg.MaxExecSec {
 			return nil, fmt.Errorf("%w: degree %d needs %.1fs > %.0fs on %s",
-				ErrExecLimit, d, base, cfg.MaxExecSec, cfg.Name)
+				ErrExecLimit, fullDeg, fullBase, cfg.MaxExecSec, cfg.Name)
+		}
+	}
+	lastBase := fullBase
+	if lastDeg != fullDeg || n == 1 {
+		lastBase = interfere.ExecSeconds(b.Demand, cfg.Shape, lastDeg)
+		if lastBase > cfg.MaxExecSec {
+			return nil, fmt.Errorf("%w: degree %d needs %.1fs > %.0fs on %s",
+				ErrExecLimit, lastDeg, lastBase, cfg.MaxExecSec, cfg.Name)
+		}
+	}
+	for i := 0; i < n; i++ {
+		base, d := fullBase, fullDeg
+		if i == n-1 {
+			base, d = lastBase, lastDeg
 		}
 		execs[i] = base * rng.Jitter(cfg.JitterRel)
 		timelines[i] = Timeline{Index: i, Degree: d, Warm: i < b.Warm}
 	}
 
-	res, err := runControlPlane(cfg, b, timelines, execs, rng)
+	res, err := runControlPlane(cfg, b, timelines, execs, sc, rng)
 	if err != nil {
 		return nil, err
 	}
@@ -222,11 +240,69 @@ type demandGroup struct {
 	n int
 }
 
+// podState tracks one image pod's shipping status during the control-plane
+// race.
+type podState struct {
+	shipped   bool
+	shippedAt float64
+	waiting   []int
+}
+
+// runScratch pools the per-burst working arrays that never escape into the
+// Result — execution durations, retry backoff state, pod bookkeeping — so
+// burst-heavy paths (probe fan-outs, sweeps) stop paying an allocation per
+// array per burst. Everything handed out is fully reinitialized here;
+// nothing downstream may retain a reference past release.
+type runScratch struct {
+	execs     []float64
+	prevDelay []float64
+	pods      []podState
+}
+
+var runScratchPool = sync.Pool{New: func() any { return new(runScratch) }}
+
+// newRunScratch returns a scratch with execs and prevDelay sized and zeroed
+// for n instances.
+func newRunScratch(n int) *runScratch {
+	sc := runScratchPool.Get().(*runScratch)
+	sc.execs = grownZeroed(sc.execs, n)
+	sc.prevDelay = grownZeroed(sc.prevDelay, n)
+	return sc
+}
+
+// podStates returns the scratch's pod array sized and reset for n pods.
+func (sc *runScratch) podStates(n int) []podState {
+	if cap(sc.pods) < n {
+		sc.pods = make([]podState, n)
+	}
+	sc.pods = sc.pods[:n]
+	for i := range sc.pods {
+		sc.pods[i].shipped = false
+		sc.pods[i].shippedAt = 0
+		sc.pods[i].waiting = sc.pods[i].waiting[:0]
+	}
+	return sc.pods
+}
+
+func (sc *runScratch) release() { runScratchPool.Put(sc) }
+
+// grownZeroed resizes s to length n, zeroing every element.
+func grownZeroed(s []float64, n int) []float64 {
+	if cap(s) < n {
+		return make([]float64, n)
+	}
+	s = s[:n]
+	for i := range s {
+		s[i] = 0
+	}
+	return s
+}
+
 // runControlPlane simulates scheduling, image build, shipping, boot, and
 // execution for a set of instances whose Degree/Warm fields and execution
 // durations are already fixed. It fills in the timelines and returns the
 // Result skeleton (no billing).
-func runControlPlane(cfg Config, b Burst, timelines []Timeline, execs []float64, rng *sim.RNG) (*Result, error) {
+func runControlPlane(cfg Config, b Burst, timelines []Timeline, execs []float64, sc *runScratch, rng *sim.RNG) (*Result, error) {
 	n := len(timelines)
 	eng := sim.NewEngine()
 	sched := sim.NewStation(eng, cfg.SchedServers)
@@ -254,12 +330,7 @@ func runControlPlane(cfg Config, b Burst, timelines []Timeline, execs []float64,
 	if podSize < 1 {
 		podSize = 1
 	}
-	type podState struct {
-		shipped   bool
-		shippedAt float64
-		waiting   []int
-	}
-	pods := make([]podState, (n+podSize-1)/podSize)
+	pods := sc.podStates((n + podSize - 1) / podSize)
 
 	maxRetries := cfg.MaxStartRetries
 	if maxRetries == 0 {
@@ -268,7 +339,7 @@ func runControlPlane(cfg Config, b Burst, timelines []Timeline, execs []float64,
 	retryPol := cfg.retryPolicy()
 	// prevDelay feeds the decorrelated-jitter schedule; per instance so
 	// parallel retry chains stay independent.
-	prevDelay := make([]float64, n)
+	prevDelay := sc.prevDelay
 	// The hedge launch threshold is the configured quantile of the fleet's
 	// planned execution durations — known up front in the simulator, so the
 	// policy is deterministic.
@@ -441,7 +512,7 @@ func runControlPlane(cfg Config, b Burst, timelines []Timeline, execs []float64,
 			timelines[w].ShipDone = pods[p].shippedAt
 			boot(w)
 		}
-		pods[p].waiting = nil
+		pods[p].waiting = pods[p].waiting[:0]
 	}
 
 	submitSched = func(i int) {
@@ -728,4 +799,3 @@ func (r *Result) StageBreakdown() (sched, build, ship, boot float64) {
 		last.ShipDone - last.BuildDone,
 		last.Start - last.ShipDone
 }
-

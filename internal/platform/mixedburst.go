@@ -1,10 +1,12 @@
 package platform
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/interfere"
 	"repro/internal/obs"
+	"repro/internal/parallel"
 	"repro/internal/sim"
 )
 
@@ -37,6 +39,14 @@ type MixedBurst struct {
 	Recorder obs.Recorder
 	// Label names the burst in exported traces; may be empty.
 	Label string
+
+	// Workers bounds the fan-out that evaluates the per-bin interference
+	// model and billing groups before the (inherently sequential) control-
+	// plane simulation. 0 uses GOMAXPROCS; 1 reproduces fully sequential
+	// execution. The result is byte-identical for every worker count: the
+	// model evaluation is a pure function of the bin, and jitter draws stay
+	// on the burst's single ordered stream.
+	Workers int
 }
 
 // Functions is the total logical function count across bins.
@@ -79,15 +89,48 @@ func RunMixed(cfg Config, m MixedBurst) (*Result, error) {
 	}
 	n := len(m.Bins)
 	rng := sim.Stream(m.Seed, hashName(cfg.Name)^0x6d69786564) // "mixed"
-	execs := make([]float64, n)
+	sc := newRunScratch(n)
+	defer sc.release()
+	execs := sc.execs
 	timelines := make([]Timeline, n)
-	for i, bin := range m.Bins {
-		base := interfere.ExecSecondsMixed(bin.Demands, cfg.Shape)
-		if base > cfg.MaxExecSec {
-			return nil, fmt.Errorf("%w: bin %d needs %.1fs > %.0fs on %s",
-				ErrExecLimit, i, base, cfg.MaxExecSec, cfg.Name)
+
+	// Per-bin preparation — the interference model over the bin's demand mix
+	// and the same-demand billing groups — is a pure function of the bin, so
+	// it fans out across workers. Everything order-sensitive (the platform-
+	// limit check with its bin index, the jitter draws on the burst's single
+	// sequential stream) happens in the ordered fold below, keeping the
+	// result byte-identical for every worker count.
+	type binPrep struct {
+		base   float64
+		groups []demandGroup
+	}
+	prep := func(i int) binPrep {
+		return binPrep{
+			base:   interfere.ExecSecondsMixed(m.Bins[i].Demands, cfg.Shape),
+			groups: groupDemands(m.Bins[i].Demands),
 		}
-		execs[i] = base * rng.Jitter(cfg.JitterRel)
+	}
+	var preps []binPrep
+	if parallel.WorkerCount(m.Workers) == 1 || n == 1 {
+		preps = make([]binPrep, n)
+		for i := range preps {
+			preps[i] = prep(i)
+		}
+	} else {
+		var err error
+		preps, err = parallel.Map(context.Background(), n,
+			func(_ context.Context, i int) (binPrep, error) { return prep(i), nil },
+			parallel.Workers(m.Workers))
+		if err != nil {
+			return nil, err
+		}
+	}
+	for i, bin := range m.Bins {
+		if preps[i].base > cfg.MaxExecSec {
+			return nil, fmt.Errorf("%w: bin %d needs %.1fs > %.0fs on %s",
+				ErrExecLimit, i, preps[i].base, cfg.MaxExecSec, cfg.Name)
+		}
+		execs[i] = preps[i].base * rng.Jitter(cfg.JitterRel)
 		timelines[i] = Timeline{Index: i, Degree: bin.Degree(), Warm: i < m.Warm}
 	}
 
@@ -96,12 +139,12 @@ func RunMixed(cfg Config, m MixedBurst) (*Result, error) {
 		StaggerSec: m.StaggerSec, Seed: m.Seed,
 		Recorder: m.Recorder, Label: m.Label,
 	}
-	res, err := runControlPlane(cfg, pseudo, timelines, execs, rng)
+	res, err := runControlPlane(cfg, pseudo, timelines, execs, sc, rng)
 	if err != nil {
 		return nil, err
 	}
 	res.Bins = m.Bins
-	res.bill(func(i int) []demandGroup { return groupDemands(m.Bins[i].Demands) })
+	res.bill(func(i int) []demandGroup { return preps[i].groups })
 	return res, nil
 }
 

@@ -1,0 +1,138 @@
+package platform
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/interfere"
+	"repro/internal/obs"
+	"repro/internal/workload"
+)
+
+// mixedEquivBins builds a heterogeneous bin set mixing two demands at
+// varying degrees, enough instances that the fan-out actually interleaves.
+func mixedEquivBins() []Bin {
+	light := interfere.Demand{CPUSeconds: 5, MemoryMB: 128, InputMB: 5, OutputMB: 1}
+	heavy := workload.Video{}.Demand()
+	var bins []Bin
+	for i := 0; i < 60; i++ {
+		var b Bin
+		b.Demands = append(b.Demands, light)
+		if i%2 == 0 {
+			b.Demands = append(b.Demands, heavy)
+		}
+		if i%3 == 0 {
+			b.Demands = append(b.Demands, light, light)
+		}
+		bins = append(bins, b)
+	}
+	return bins
+}
+
+// normalize strips the recorder pointer (it necessarily differs between
+// runs) so Results can be compared wholesale.
+func normalize(r *Result) *Result {
+	r.Burst.Recorder = nil
+	return r
+}
+
+// TestConcurrentMixedBurstEquivalence is the platform-layer half of the
+// determinism contract: RunMixed must produce byte-identical results —
+// timelines, billing, fault counters, and recorded spans/events — for any
+// Workers value, under fault injection and hedging.
+func TestConcurrentMixedBurstEquivalence(t *testing.T) {
+	cfg := crashyConfig(0.0005)
+	cfg.StragglerProb = 0.05
+	cfg.StragglerFactor = 3
+	cfg.Hedge.Quantile = 95
+	bins := mixedEquivBins()
+
+	var wantRec obs.Memory
+	want, err := RunMixed(cfg, MixedBurst{Bins: bins, Seed: 77, Warm: 7,
+		Recorder: &wantRec, Label: "equiv", Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	normalize(want)
+
+	for _, workers := range []int{0, 2, 8, 31} {
+		var rec obs.Memory
+		got, err := RunMixed(cfg, MixedBurst{Bins: bins, Seed: 77, Warm: 7,
+			Recorder: &rec, Label: "equiv", Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		normalize(got)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("workers=%d: Result differs from sequential", workers)
+		}
+		if !reflect.DeepEqual(rec.Bursts(), wantRec.Bursts()) {
+			t.Fatalf("workers=%d: recorded spans/events differ from sequential", workers)
+		}
+	}
+}
+
+// TestConcurrentMixedBurstLimitError checks the error path is order-stable:
+// the reported infeasible bin is the first one in bin order, for any worker
+// count.
+func TestConcurrentMixedBurstLimitError(t *testing.T) {
+	cfg := AWSLambda()
+	heavy := workload.Video{}.Demand()
+	// A limit between the singleton and the packed execution time makes
+	// exactly the overloaded bins infeasible.
+	single := interfere.ExecSecondsMixed([]interfere.Demand{heavy}, cfg.Shape)
+	cfg.MaxExecSec = single * 1.05
+	bins := singletonBins(heavy, 6)
+	// Bins 2 and 4 are overloaded past the execution limit.
+	for _, i := range []int{2, 4} {
+		bins[i].Demands = append(bins[i].Demands, heavy, heavy)
+	}
+	var wantErr string
+	for w, workers := range []int{1, 0, 8} {
+		_, err := RunMixed(cfg, MixedBurst{Bins: bins, Seed: 5, Workers: workers})
+		if err == nil {
+			t.Fatalf("workers=%d: expected execution-limit error", workers)
+		}
+		if w == 0 {
+			wantErr = err.Error()
+			continue
+		}
+		if err.Error() != wantErr {
+			t.Fatalf("workers=%d: error %q, want %q", workers, err.Error(), wantErr)
+		}
+	}
+}
+
+// TestRunScratchReuseStable guards the sync.Pool scratch: repeated and
+// interleaved bursts of different shapes must be bit-identical to their own
+// first run — stale pod state, retry backoff, or execution durations from a
+// pooled array would show up here.
+func TestRunScratchReuseStable(t *testing.T) {
+	cfg := crashyConfig(0.001)
+	cfg.StartFailureProb = 0.05
+	d := workload.Video{}.Demand()
+	bursts := []Burst{
+		{Demand: d, Functions: 500, Degree: 8, Seed: 11},
+		{Demand: d, Functions: 37, Degree: 5, Seed: 12, Warm: 3},
+		{Demand: d, Functions: 120, Degree: 1, Seed: 13},
+	}
+	firsts := make([]*Result, len(bursts))
+	for i, b := range bursts {
+		res, err := Run(cfg, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		firsts[i] = res
+	}
+	for round := 0; round < 3; round++ {
+		for i, b := range bursts {
+			res, err := Run(cfg, b)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(res, firsts[i]) {
+				t.Fatalf("round %d burst %d: pooled-scratch run differs from first run", round, i)
+			}
+		}
+	}
+}
