@@ -1,0 +1,248 @@
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// -update rewrites the serve golden files from the live responses (the same
+// convention as the experiment goldens):
+//
+//	go test ./cmd/propack/ -run TestServeE2E -update
+var update = flag.Bool("update", false, "rewrite testdata golden files")
+
+// buildPropack compiles the real binary into a temp dir. The e2e test runs
+// the artifact users run, not an in-process stand-in: flag parsing, signal
+// handling, and process exit codes are all part of what it pins down.
+func buildPropack(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "propack")
+	cmd := exec.Command("go", "build", "-o", bin, ".")
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+	return bin
+}
+
+// serveProc is one running `propack serve` child process.
+type serveProc struct {
+	cmd    *exec.Cmd
+	base   string // http://host:port
+	stderr *strings.Builder
+	mu     *sync.Mutex
+}
+
+func (p *serveProc) stderrText() string {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.stderr.String()
+}
+
+var listenRE = regexp.MustCompile(`serve: listening.*addr=([0-9A-Za-z\.\[\]:]+:[0-9]+)`)
+
+// startServe launches the binary on an ephemeral port and scrapes the bound
+// address from its startup log line.
+func startServe(t *testing.T, bin string, extraArgs ...string) *serveProc {
+	t.Helper()
+	args := append([]string{"serve", "-addr", "127.0.0.1:0"}, extraArgs...)
+	cmd := exec.Command(bin, args...)
+	stderr, err := cmd.StderrPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	p := &serveProc{cmd: cmd, stderr: &strings.Builder{}, mu: &sync.Mutex{}}
+	addrCh := make(chan string, 1)
+	go func() {
+		sc := bufio.NewScanner(stderr)
+		for sc.Scan() {
+			line := sc.Text()
+			p.mu.Lock()
+			fmt.Fprintln(p.stderr, line)
+			p.mu.Unlock()
+			if m := listenRE.FindStringSubmatch(line); m != nil {
+				select {
+				case addrCh <- m[1]:
+				default:
+				}
+			}
+		}
+	}()
+	select {
+	case addr := <-addrCh:
+		p.base = "http://" + addr
+	case <-time.After(30 * time.Second):
+		cmd.Process.Kill()
+		t.Fatalf("serve did not report a listen address; stderr:\n%s", p.stderrText())
+	}
+	t.Cleanup(func() {
+		if cmd.ProcessState == nil {
+			cmd.Process.Kill()
+			cmd.Wait()
+		}
+	})
+	return p
+}
+
+func httpGet(t *testing.T, url string, hdr map[string]string) (int, string, http.Header) {
+	t.Helper()
+	req, err := http.NewRequest("GET", url, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k, v := range hdr {
+		req.Header.Set(k, v)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(body), resp.Header
+}
+
+// TestServeE2E drives the built binary end to end: golden responses for
+// every /v1 endpoint, rate-limit shedding, and a lossless SIGTERM drain
+// with a request in flight.
+func TestServeE2E(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs the real binary; skipped in -short")
+	}
+	bin := buildPropack(t)
+	// Low sustained rate with a burst of 10: the handful of golden requests
+	// (anonymous tenant) sail through; the hammer tenant below exhausts its
+	// own bucket and sees 429s.
+	p := startServe(t, bin, "-tenantrps", "1", "-tenantburst", "10", "-testhooks", "-seed", "1")
+
+	t.Run("golden", func(t *testing.T) {
+		cases := []struct {
+			name string
+			path string
+		}{
+			{"advise", "/v1/advise?app=Video&platform=aws&c=2000&ws=0.5"},
+			{"plan", "/v1/plan?app=Video&platform=aws&c=2000&degree=5"},
+			{"qos", "/v1/qos?app=Xapian&platform=aws&c=2000&qos=120"},
+			{"mixed", "/v1/mixed?app=Video:60&app=Smith-Waterman:60&platform=aws&ws=0.5"},
+		}
+		for _, tc := range cases {
+			code, body, _ := httpGet(t, p.base+tc.path, nil)
+			if code != http.StatusOK {
+				t.Fatalf("GET %s: status %d: %s", tc.path, code, body)
+			}
+			golden := filepath.Join("testdata", "serve_"+tc.name+".golden.json")
+			if *update {
+				if err := os.WriteFile(golden, []byte(body), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				continue
+			}
+			want, err := os.ReadFile(golden)
+			if err != nil {
+				t.Fatalf("missing golden (run with -update): %v", err)
+			}
+			if body != string(want) {
+				t.Errorf("%s response drifted from %s:\ngot:\n%s\nwant:\n%s", tc.name, golden, body, want)
+			}
+		}
+	})
+
+	t.Run("ratelimit", func(t *testing.T) {
+		hammer := map[string]string{"X-API-Key": "hammer"}
+		path := p.base + "/v1/plan?app=Video&platform=aws&c=100&degree=2"
+		var shed int
+		for i := 0; i < 14; i++ {
+			code, body, hdr := httpGet(t, fmt.Sprintf("%s&i=%d", path, i), hammer)
+			switch code {
+			case http.StatusOK:
+			case http.StatusTooManyRequests:
+				shed++
+				if hdr.Get("Retry-After") == "" {
+					t.Fatalf("429 without Retry-After: %s", body)
+				}
+			default:
+				t.Fatalf("request %d: status %d: %s", i, code, body)
+			}
+		}
+		if shed == 0 {
+			t.Fatal("hammer tenant never rate limited across 14 requests against a burst of 10")
+		}
+		// The hammer tenant's bucket is private: anonymous requests still pass.
+		if code, body, _ := httpGet(t, path+"&i=anon", nil); code != http.StatusOK {
+			t.Fatalf("anonymous request caught by hammer's limit: %d %s", code, body)
+		}
+	})
+
+	t.Run("drain", func(t *testing.T) {
+		if code, _, _ := httpGet(t, p.base+"/readyz", nil); code != http.StatusOK {
+			t.Fatalf("readyz before drain: %d", code)
+		}
+		// A slow request rides through the drain: SIGTERM lands while it is
+		// in flight, and losslessness means it still completes with a 200.
+		type result struct {
+			code int
+			err  error
+		}
+		slow := make(chan result, 1)
+		go func() {
+			resp, err := http.Get(p.base + "/v1/advise?app=Video&platform=aws&c=2000&delayms=1000")
+			if err != nil {
+				slow <- result{0, err}
+				return
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			slow <- result{resp.StatusCode, nil}
+		}()
+		time.Sleep(300 * time.Millisecond) // let the slow request reach the handler
+		if err := p.cmd.Process.Signal(syscall.SIGTERM); err != nil {
+			t.Fatal(err)
+		}
+		r := <-slow
+		if r.err != nil || r.code != http.StatusOK {
+			t.Fatalf("in-flight request dropped by drain: code %d err %v\nstderr:\n%s",
+				r.code, r.err, p.stderrText())
+		}
+		if err := p.cmd.Wait(); err != nil {
+			t.Fatalf("serve exited non-zero after SIGTERM: %v\nstderr:\n%s", err, p.stderrText())
+		}
+		if !strings.Contains(p.stderrText(), "drained cleanly") {
+			t.Fatalf("no clean-drain log line; stderr:\n%s", p.stderrText())
+		}
+	})
+}
+
+// TestServeE2EHelp pins the binary's top-level help to the command table.
+func TestServeE2EHelp(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds the real binary; skipped in -short")
+	}
+	bin := buildPropack(t)
+	out, err := exec.Command(bin, "-h").CombinedOutput()
+	if err != nil {
+		t.Fatalf("propack -h: %v\n%s", err, out)
+	}
+	for _, c := range commands {
+		if !strings.Contains(string(out), c.name) {
+			t.Errorf("propack -h missing %q:\n%s", c.name, out)
+		}
+	}
+}

@@ -9,6 +9,7 @@
 //	propack run    -app Video -platform aws -c 5000 -degree 10
 //	propack sweep  -app Sort  -platform aws -c 2000
 //	propack local  -app "Stateless Cost" -degree 8 -cores 4
+//	propack serve  -addr 127.0.0.1:8080
 //	propack apps
 package main
 
@@ -16,6 +17,7 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
@@ -32,56 +34,73 @@ import (
 	"repro/internal/workload"
 )
 
+// command is one subcommand: its dispatch name, the one-line summary that
+// usage() renders, and the implementation.
+type command struct {
+	name    string
+	summary string
+	run     func(args []string) error
+}
+
+// commands is the dispatch table. Adding an entry here is the single step
+// that both routes the subcommand and documents it in `propack -h` — the
+// help text is generated from this table, so the two cannot drift.
+var commands = []command{
+	{"advise", "profile an app on a platform and print the optimal packing plan", cmdAdvise},
+	{"run", "execute C functions at a packing degree on the simulated platform", cmdRun},
+	{"sweep", "run every feasible packing degree and print the metrics", cmdSweep},
+	{"local", "run the real workload kernel packed as goroutines on this machine", cmdLocal},
+	{"hetero", "plan and run a heterogeneous two-application job (Sec. 5 extension)", cmdHetero},
+	{"pareto", "print the service/expense Pareto frontier of packing degrees", cmdPareto},
+	{"validate", "run the Sec. 2.4 Pearson χ² goodness-of-fit for an app/platform", cmdValidate},
+	{"serve", "run the planner as a hardened HTTP daemon (admission control, rate limits, drain)", cmdServe},
+	{"apps", "list the benchmark applications", cmdApps},
+}
+
+func commandByName(name string) *command {
+	for i := range commands {
+		if commands[i].name == name {
+			return &commands[i]
+		}
+	}
+	return nil
+}
+
 func main() {
 	if len(os.Args) < 2 {
-		usage()
+		usage(os.Stderr)
 		os.Exit(2)
 	}
-	var err error
-	switch os.Args[1] {
-	case "advise":
-		err = cmdAdvise(os.Args[2:])
-	case "run":
-		err = cmdRun(os.Args[2:])
-	case "sweep":
-		err = cmdSweep(os.Args[2:])
-	case "local":
-		err = cmdLocal(os.Args[2:])
-	case "hetero":
-		err = cmdHetero(os.Args[2:])
-	case "pareto":
-		err = cmdPareto(os.Args[2:])
-	case "validate":
-		err = cmdValidate(os.Args[2:])
-	case "apps":
-		err = cmdApps()
-	case "-h", "--help", "help":
-		usage()
-	default:
-		fmt.Fprintf(os.Stderr, "propack: unknown command %q\n", os.Args[1])
-		usage()
+	name := os.Args[1]
+	if name == "-h" || name == "--help" || name == "help" {
+		usage(os.Stdout)
+		return
+	}
+	cmd := commandByName(name)
+	if cmd == nil {
+		fmt.Fprintf(os.Stderr, "propack: unknown command %q\n", name)
+		usage(os.Stderr)
 		os.Exit(2)
 	}
-	if err != nil {
+	if err := cmd.run(os.Args[2:]); err != nil {
 		fmt.Fprintln(os.Stderr, "propack:", err)
 		os.Exit(1)
 	}
 }
 
-func usage() {
-	fmt.Fprintln(os.Stderr, strings.TrimSpace(`
-usage: propack <command> [flags]
-
-commands:
-  advise  profile an app on a platform and print the optimal packing plan
-  run     execute C functions at a packing degree on the simulated platform
-  sweep   run every feasible packing degree and print the metrics
-  local   run the real workload kernel packed as goroutines on this machine
-  hetero  plan and run a heterogeneous two-application job (Sec. 5 extension)
-  pareto  print the service/expense Pareto frontier of packing degrees
-  validate run the Sec. 2.4 Pearson χ² goodness-of-fit for an app/platform
-  apps    list the benchmark applications
-`))
+func usage(w io.Writer) {
+	fmt.Fprintln(w, "usage: propack <command> [flags]")
+	fmt.Fprintln(w, "\ncommands:")
+	width := 0
+	for _, c := range commands {
+		if len(c.name) > width {
+			width = len(c.name)
+		}
+	}
+	for _, c := range commands {
+		fmt.Fprintf(w, "  %-*s  %s\n", width, c.name, c.summary)
+	}
+	fmt.Fprintln(w, "\nrun 'propack <command> -h' for that command's flags")
 }
 
 func platformByName(name string) (platform.Config, error) {
@@ -99,7 +118,7 @@ func platformByName(name string) (platform.Config, error) {
 	}
 }
 
-func cmdApps() error {
+func cmdApps([]string) error {
 	for _, w := range workload.All() {
 		d := w.Demand()
 		fmt.Printf("%-15s solo %.0fs (cpu %.0fs / io %.0fs), %.0f MB, max degree on 10GB Lambda: %d\n",

@@ -1,0 +1,55 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestUsageListsEveryCommand pins the help text to the dispatch table: a
+// subcommand added to `commands` shows up in `propack -h` by construction,
+// and this test fails if anyone reintroduces a hand-maintained usage string
+// that misses one.
+func TestUsageListsEveryCommand(t *testing.T) {
+	var sb strings.Builder
+	usage(&sb)
+	help := sb.String()
+	if len(commands) < 9 {
+		t.Fatalf("command table has %d entries; expected at least 9 (did dispatch move off the table?)", len(commands))
+	}
+	for _, c := range commands {
+		if !strings.Contains(help, "  "+c.name+" ") && !strings.Contains(help, "  "+c.name+"\n") {
+			t.Errorf("usage output missing command %q:\n%s", c.name, help)
+		}
+		if c.summary == "" {
+			t.Errorf("command %q has no summary", c.name)
+		}
+		if !strings.Contains(help, c.summary) {
+			t.Errorf("usage output missing summary for %q", c.name)
+		}
+		if c.run == nil {
+			t.Errorf("command %q has no implementation", c.name)
+		}
+	}
+}
+
+func TestCommandByName(t *testing.T) {
+	for _, c := range commands {
+		got := commandByName(c.name)
+		if got == nil || got.name != c.name {
+			t.Errorf("commandByName(%q) = %v", c.name, got)
+		}
+	}
+	if got := commandByName("no-such-command"); got != nil {
+		t.Errorf("commandByName(no-such-command) = %v, want nil", got)
+	}
+}
+
+func TestCommandNamesUnique(t *testing.T) {
+	seen := map[string]bool{}
+	for _, c := range commands {
+		if seen[c.name] {
+			t.Errorf("duplicate command %q", c.name)
+		}
+		seen[c.name] = true
+	}
+}

@@ -1,0 +1,67 @@
+package main
+
+import (
+	"context"
+	"flag"
+	"net"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/server"
+)
+
+// cmdServe runs the planner as a long-lived HTTP daemon (internal/server):
+// one process profiles each (app, platform) pair once and then answers
+// planning queries from its caches, behind admission control, per-tenant
+// rate limits, a circuit breaker, and graceful drain on SIGTERM/SIGINT.
+func cmdServe(args []string) error {
+	fs := flag.NewFlagSet("serve", flag.ExitOnError)
+	addr := fs.String("addr", "127.0.0.1:8080", "listen address")
+	maxInFlight := fs.Int("maxinflight", 32, "admission capacity: concurrently executing requests")
+	maxQueue := fs.Int("maxqueue", 0, "queued-request watermark before shedding (0 = 2×maxinflight)")
+	timeout := fs.Duration("timeout", 10*time.Second, "per-request deadline")
+	tenantRPS := fs.Float64("tenantrps", 50, "per-tenant sustained requests/sec (negative disables rate limiting)")
+	tenantBurst := fs.Float64("tenantburst", 100, "per-tenant burst size in requests")
+	drainGrace := fs.Duration("draingrace", 0, "keep serving this long after /readyz flips to 503, so load balancers stop routing first")
+	drainTimeout := fs.Duration("draintimeout", 30*time.Second, "bound on draining in-flight requests at shutdown")
+	seed := fs.Int64("seed", 1, "simulation seed behind model building")
+	debug := fs.Bool("debug", false, "mount /debug/pprof, /debug/vars and /metrics on the serving listener")
+	verbose := fs.Bool("v", false, "debug logging")
+	logfmt := fs.String("logfmt", "text", "log format: text or json")
+	testHooks := fs.Bool("testhooks", false, "enable the delayms/panic fault-injection query params (e2e tests only; never in production)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	logger, err := obs.NewLogger(os.Stderr, *logfmt, *verbose)
+	if err != nil {
+		return err
+	}
+	s, err := server.New(server.Config{
+		MaxInFlight:    *maxInFlight,
+		MaxQueue:       *maxQueue,
+		RequestTimeout: *timeout,
+		TenantRPS:      *tenantRPS,
+		TenantBurst:    *tenantBurst,
+		DrainGrace:     *drainGrace,
+		DrainTimeout:   *drainTimeout,
+		Seed:           *seed,
+		Log:            logger,
+		EnableDebug:    *debug,
+		TestHooks:      *testHooks,
+	})
+	if err != nil {
+		return err
+	}
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	// SIGTERM (orchestrators) and SIGINT (^C) both start the graceful drain;
+	// Run returns nil once every in-flight request has been answered.
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, os.Interrupt)
+	defer stop()
+	return s.Run(ctx, ln)
+}

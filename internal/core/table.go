@@ -453,6 +453,14 @@ func (pl *Planner) QoSPlan(c int, qosSec float64, opts QoSOptions) (Plan, Weight
 	return t.plan(t.argminRegret(100, 1, w), w), w, nil
 }
 
+// Table exposes the cached DegreeTable for concurrency c, for callers that
+// scan degrees themselves (the serve daemon's fixed-degree /v1/plan
+// endpoint reads service/expense straight off it). It validates exactly as
+// NewDegreeTable does and shares the planner's cache and singleflight.
+func (pl *Planner) Table(c int) (*DegreeTable, error) {
+	return pl.cache.Table(c)
+}
+
 // table validates weights alongside the cached table lookup, preserving the
 // naive methods' validation order (models, then weights, then concurrency
 // errors come out of the same checks).

@@ -1,27 +1,27 @@
 package obs
 
 import (
+	"context"
 	"expvar"
 	"net"
 	"net/http"
 	"net/http/pprof"
 	"sync"
+	"time"
 )
 
 // publishOnce guards the process-global expvar namespace: expvar.Publish
 // panics on duplicate names, and tests may start several debug servers.
 var publishOnce sync.Once
 
-// StartDebug serves the Go diagnostic endpoints on addr for profiling long
-// simulations and local runs:
+// DebugMux builds the Go diagnostic mux shared by the CLI's -debug.addr
+// server and the serve daemon (which mounts it on its main listener instead
+// of running a second server):
 //
 //	/debug/pprof/...  CPU, heap, goroutine, block profiles
 //	/debug/vars       expvar (incl. a live snapshot of reg, if non-nil)
-//	/metrics          human-readable dump of reg (404 when reg is nil)
-//
-// It returns the bound address (useful with ":0"), a stop function, and any
-// listen error. The server runs until stop is called or the process exits.
-func StartDebug(addr string, reg *Registry) (string, func() error, error) {
+//	/metrics          human-readable dump of reg (absent when reg is nil)
+func DebugMux(reg *Registry) *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -36,11 +36,35 @@ func StartDebug(addr string, reg *Registry) (string, func() error, error) {
 			_ = reg.Fprint(w)
 		})
 	}
+	return mux
+}
+
+// debugShutdownTimeout bounds how long StartDebug's stop function waits for
+// in-flight scrapes (a pprof profile capture can be seconds long) before
+// hard-closing.
+const debugShutdownTimeout = 5 * time.Second
+
+// StartDebug serves DebugMux(reg) on addr for profiling long simulations
+// and local runs. It returns the bound address (useful with ":0"), a stop
+// function, and any listen error. The stop function shuts the server down
+// gracefully — it stops accepting, waits up to debugShutdownTimeout for
+// in-flight requests (a profile mid-capture finishes instead of being cut),
+// then closes whatever remains — so callers no longer leak the server on
+// exit.
+func StartDebug(addr string, reg *Registry) (string, func() error, error) {
 	l, err := net.Listen("tcp", addr)
 	if err != nil {
 		return "", nil, err
 	}
-	srv := &http.Server{Handler: mux}
+	srv := &http.Server{Handler: DebugMux(reg)}
 	go func() { _ = srv.Serve(l) }()
-	return l.Addr().String(), srv.Close, nil
+	stop := func() error {
+		ctx, cancel := context.WithTimeout(context.Background(), debugShutdownTimeout)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			return srv.Close()
+		}
+		return nil
+	}
+	return l.Addr().String(), stop, nil
 }

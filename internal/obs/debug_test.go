@@ -1,0 +1,61 @@
+package obs
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// TestDebugMuxStandalone mounts the diagnostic mux without a server — the
+// way the serve daemon embeds it on its own listener — and checks the
+// routes respond.
+func TestDebugMuxStandalone(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("bursts_total").Add(3)
+	mux := DebugMux(reg)
+	for path, want := range map[string]string{
+		"/metrics":                       "bursts_total",
+		"/debug/vars":                    "cmdline",
+		"/debug/pprof/cmdline":           "",
+		"/debug/pprof/goroutine?debug=1": "goroutine",
+	} {
+		rr := httptest.NewRecorder()
+		mux.ServeHTTP(rr, httptest.NewRequest("GET", path, nil))
+		if rr.Code != http.StatusOK {
+			t.Fatalf("GET %s: status %d", path, rr.Code)
+		}
+		if want != "" && !strings.Contains(rr.Body.String(), want) {
+			t.Fatalf("GET %s missing %q", path, want)
+		}
+	}
+	// Without a registry there is no /metrics route.
+	rr := httptest.NewRecorder()
+	DebugMux(nil).ServeHTTP(rr, httptest.NewRequest("GET", "/metrics", nil))
+	if rr.Code != http.StatusNotFound {
+		t.Fatalf("nil-registry /metrics: status %d, want 404", rr.Code)
+	}
+}
+
+// TestDebugServerStopIsClean verifies the stop function actually tears the
+// listener down (the pre-refactor server leaked until process exit) and is
+// safe to call with no requests in flight.
+func TestDebugServerStopIsClean(t *testing.T) {
+	addr, stop, err := StartDebug("127.0.0.1:0", NewRegistry())
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Get("http://" + addr + "/debug/vars")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if err := stop(); err != nil {
+		t.Fatalf("stop: %v", err)
+	}
+	if _, err := http.Get("http://" + addr + "/debug/vars"); err == nil {
+		t.Fatal("debug server still accepting after stop")
+	}
+}

@@ -135,17 +135,19 @@ func probeCrossDiscount(cfg platform.Config, apps []MixedApp, coreApps []core.Ap
 	return sum / float64(pairs), nil
 }
 
-// RunMixedProPack plans cross-application packing and executes it. The
-// final burst's spans and events flow into rec (nil disables recording);
-// planning probes are never recorded.
-func RunMixedProPack(cfg platform.Config, apps []MixedApp, w core.Weights, seed int64, rec obs.Recorder) (MixedRun, error) {
+// PlanMixedJob runs the heterogeneous planning pipeline — per-app
+// profiling, cross-discount pair probes, core.PlanMixed — without executing
+// the result. The serve daemon's /v1/mixed endpoint is plan-only: callers
+// inspect the recommendation (and its modeling overhead) before committing
+// a burst.
+func PlanMixedJob(cfg platform.Config, apps []MixedApp, w core.Weights, seed int64) (core.MixedPlan, core.Overhead, error) {
 	coreApps, scaling, overhead, err := buildApps(cfg, apps, seed)
 	if err != nil {
-		return MixedRun{}, err
+		return core.MixedPlan{}, core.Overhead{}, err
 	}
 	disc, err := probeCrossDiscount(cfg, apps, coreApps, seed, &overhead)
 	if err != nil {
-		return MixedRun{}, err
+		return core.MixedPlan{}, core.Overhead{}, err
 	}
 	plan, err := core.PlanMixed(coreApps, core.MixedPlanOptions{
 		InstanceMemoryMB:   cfg.Shape.MemoryMB,
@@ -155,6 +157,17 @@ func RunMixedProPack(cfg platform.Config, apps []MixedApp, w core.Weights, seed 
 		RatePerInstanceSec: cfg.MemoryGB() * cfg.GBSecondUSD,
 		CrossDiscount:      disc,
 	})
+	if err != nil {
+		return core.MixedPlan{}, core.Overhead{}, err
+	}
+	return plan, overhead, nil
+}
+
+// RunMixedProPack plans cross-application packing and executes it. The
+// final burst's spans and events flow into rec (nil disables recording);
+// planning probes are never recorded.
+func RunMixedProPack(cfg platform.Config, apps []MixedApp, w core.Weights, seed int64, rec obs.Recorder) (MixedRun, error) {
+	plan, overhead, err := PlanMixedJob(cfg, apps, w, seed)
 	if err != nil {
 		return MixedRun{}, err
 	}

@@ -1,0 +1,65 @@
+package resilience
+
+import (
+	"fmt"
+	"sync"
+)
+
+// RetryBudget is a global retry throttle (the "retry budget" from the SRE
+// playbook): retries are only allowed while the budget holds tokens, and
+// tokens accrue as a fraction of successful first attempts. When a backend
+// is broadly down, first attempts stop succeeding, the budget drains, and
+// the retry storm self-extinguishes instead of tripling the load.
+//
+// Like the Breaker it is server-side state, kept deterministic by feeding
+// outcomes explicitly rather than reading clocks: one token per Success
+// times Ratio, one token spent per allowed retry, capped at Cap.
+type RetryBudget struct {
+	mu     sync.Mutex
+	tokens float64
+	ratio  float64
+	cap    float64
+}
+
+// NewRetryBudget builds a budget allowing roughly ratio retries per
+// success, holding at most cap banked tokens. The budget starts full so a
+// cold server can still retry.
+func NewRetryBudget(ratio, cap float64) (*RetryBudget, error) {
+	if ratio < 0 || cap <= 0 {
+		return nil, fmt.Errorf("resilience: retry budget ratio %g / cap %g invalid", ratio, cap)
+	}
+	return &RetryBudget{tokens: cap, ratio: ratio, cap: cap}, nil
+}
+
+// Success banks Ratio tokens for one successful first attempt.
+func (rb *RetryBudget) Success() {
+	rb.mu.Lock()
+	rb.tokens += rb.ratio
+	if rb.tokens > rb.cap {
+		rb.tokens = rb.cap
+	}
+	rb.mu.Unlock()
+}
+
+// Spend reports whether one retry may proceed, consuming a token if so.
+// A tiny tolerance absorbs float accrual error (ten 0.1-deposits must buy
+// one retry).
+func (rb *RetryBudget) Spend() bool {
+	rb.mu.Lock()
+	defer rb.mu.Unlock()
+	if rb.tokens < 1-1e-9 {
+		return false
+	}
+	rb.tokens--
+	if rb.tokens < 0 {
+		rb.tokens = 0
+	}
+	return true
+}
+
+// Tokens reports the banked token count, for metrics and tests.
+func (rb *RetryBudget) Tokens() float64 {
+	rb.mu.Lock()
+	defer rb.mu.Unlock()
+	return rb.tokens
+}

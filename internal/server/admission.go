@@ -1,0 +1,66 @@
+package server
+
+import (
+	"context"
+	"sync/atomic"
+)
+
+// Admission control: a bounded in-flight semaphore with a queue-depth
+// watermark. The failure mode this guards against is the classic goroutine
+// pile-up — under overload an unbounded server accepts everything, every
+// request slows down, memory grows, and eventually *all* requests miss
+// their deadlines. Bounding in-flight work keeps the admitted requests
+// fast; bounding the queue keeps waiting cheap and turns the excess into
+// immediate, honest 429s the client can back off on.
+
+// admitStatus is the outcome of an admission attempt.
+type admitStatus int
+
+const (
+	// admitOK: a slot was acquired; call release when done.
+	admitOK admitStatus = iota
+	// admitShed: capacity and queue are full — shed with 429.
+	admitShed
+	// admitTimeout: the request's context expired while queued.
+	admitTimeout
+)
+
+type admission struct {
+	sem      chan struct{}
+	waiting  atomic.Int64
+	maxQueue int64
+}
+
+func newAdmission(capacity, maxQueue int) *admission {
+	return &admission{sem: make(chan struct{}, capacity), maxQueue: int64(maxQueue)}
+}
+
+// acquire claims an execution slot. The fast path never queues; the slow
+// path queues until the watermark, then sheds. release must be called
+// exactly once iff the status is admitOK.
+func (a *admission) acquire(ctx context.Context) (release func(), st admitStatus) {
+	select {
+	case a.sem <- struct{}{}:
+		return a.release, admitOK
+	default:
+	}
+	if a.waiting.Add(1) > a.maxQueue {
+		a.waiting.Add(-1)
+		return nil, admitShed
+	}
+	defer a.waiting.Add(-1)
+	select {
+	case a.sem <- struct{}{}:
+		return a.release, admitOK
+	case <-ctx.Done():
+		return nil, admitTimeout
+	}
+}
+
+func (a *admission) release() { <-a.sem }
+
+// inFlight reports the currently executing request count.
+func (a *admission) inFlight() int { return len(a.sem) }
+
+// queued reports the current queue depth.
+func (a *admission) queued() int64 { return a.waiting.Load() }

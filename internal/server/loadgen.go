@@ -1,0 +1,155 @@
+package server
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/stats"
+)
+
+// Closed-loop load generator for the daemon: N clients each keep exactly
+// one request in flight, so offered load is clients/latency and overload is
+// expressed as clients ≫ admission capacity. This is both the bench driver
+// behind BENCH_SERVE.json and the overload harness for the shed-rate
+// acceptance test (shed requests must get fast 429s while admitted
+// requests keep a sane tail).
+
+// LoadgenOptions configures one closed-loop run.
+type LoadgenOptions struct {
+	// URL is the target endpoint including query parameters; the generator
+	// appends a per-request nonce (&i=<n>) so identical requests do not
+	// coalesce and each one exercises the full path.
+	URL string
+	// Clients is the closed-loop concurrency.
+	Clients int
+	// Requests is the total request budget across clients.
+	Requests int
+	// Client overrides the HTTP client (nil: 30 s timeout, default transport).
+	Client *http.Client
+}
+
+// LatencySummary is the percentile digest of one outcome class.
+type LatencySummary struct {
+	N       int     `json:"n"`
+	MeanSec float64 `json:"mean_sec"`
+	P50Sec  float64 `json:"p50_sec"`
+	P95Sec  float64 `json:"p95_sec"`
+	P99Sec  float64 `json:"p99_sec"`
+	MaxSec  float64 `json:"max_sec"`
+}
+
+func summarize(durs []float64) LatencySummary {
+	if len(durs) == 0 {
+		return LatencySummary{}
+	}
+	sort.Float64s(durs)
+	var sum float64
+	for _, d := range durs {
+		sum += d
+	}
+	return LatencySummary{
+		N:       len(durs),
+		MeanSec: sum / float64(len(durs)),
+		P50Sec:  stats.QuantileSorted(durs, 50),
+		P95Sec:  stats.QuantileSorted(durs, 95),
+		P99Sec:  stats.QuantileSorted(durs, 99),
+		MaxSec:  durs[len(durs)-1],
+	}
+}
+
+// LoadgenResult is one closed-loop run's outcome record (the shape stored
+// in BENCH_SERVE.json).
+type LoadgenResult struct {
+	Clients       int     `json:"clients"`
+	Requests      int     `json:"requests"`
+	OK            int     `json:"ok"`
+	Shed          int     `json:"shed"`        // 429 (admission or rate limit)
+	Unavailable   int     `json:"unavailable"` // 503 (queue timeout, breaker, drain)
+	Failed        int     `json:"failed"`      // transport errors and other statuses
+	DurationSec   float64 `json:"duration_sec"`
+	ThroughputRPS float64 `json:"throughput_rps"`
+	ShedRate      float64 `json:"shed_rate"`
+	// Admitted summarizes latencies of 200s only — the tail that admission
+	// control promises to protect. Rejected summarizes the 429/503 fast
+	// path, which must stay cheap for shedding to mean anything.
+	Admitted LatencySummary `json:"admitted"`
+	Rejected LatencySummary `json:"rejected"`
+}
+
+// RunLoadgen drives the closed loop and aggregates outcomes.
+func RunLoadgen(opts LoadgenOptions) (LoadgenResult, error) {
+	if opts.Clients < 1 || opts.Requests < 1 {
+		return LoadgenResult{}, fmt.Errorf("server: loadgen needs clients ≥ 1 and requests ≥ 1")
+	}
+	client := opts.Client
+	if client == nil {
+		client = &http.Client{Timeout: 30 * time.Second}
+	}
+	var (
+		next     atomic.Int64
+		mu       sync.Mutex
+		admitted []float64
+		rejected []float64
+		res      LoadgenResult
+	)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for c := 0; c < opts.Clients; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := next.Add(1)
+				if i > int64(opts.Requests) {
+					return
+				}
+				t0 := time.Now()
+				status, err := fetch(client, fmt.Sprintf("%s&i=%d", opts.URL, i))
+				dur := time.Since(t0).Seconds()
+				mu.Lock()
+				switch {
+				case err != nil:
+					res.Failed++
+				case status == http.StatusOK:
+					res.OK++
+					admitted = append(admitted, dur)
+				case status == http.StatusTooManyRequests:
+					res.Shed++
+					rejected = append(rejected, dur)
+				case status == http.StatusServiceUnavailable:
+					res.Unavailable++
+					rejected = append(rejected, dur)
+				default:
+					res.Failed++
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	res.Clients = opts.Clients
+	res.Requests = opts.Requests
+	res.DurationSec = time.Since(start).Seconds()
+	if res.DurationSec > 0 {
+		res.ThroughputRPS = float64(opts.Requests) / res.DurationSec
+	}
+	res.ShedRate = float64(res.Shed+res.Unavailable) / float64(opts.Requests)
+	res.Admitted = summarize(admitted)
+	res.Rejected = summarize(rejected)
+	return res, nil
+}
+
+func fetch(client *http.Client, url string) (int, error) {
+	resp, err := client.Get(url)
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	_, err = io.Copy(io.Discard, resp.Body)
+	return resp.StatusCode, err
+}

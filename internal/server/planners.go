@@ -1,0 +1,112 @@
+package server
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/core"
+	"repro/internal/funcx"
+	"repro/internal/platform"
+	"repro/internal/workload"
+)
+
+// plannerPool owns one fitted model stack + cached core.Planner per
+// (platform, application) pair. Model building runs the full probing
+// pipeline (tens of milliseconds of simulation), so concurrent first
+// requests for the same pair coalesce on the pool's singleflight; planning
+// against a built entry is the lock-free TableCache hot path from PR 4–5.
+type plannerPool struct {
+	seed    int64
+	flights flightGroup
+	mu      sync.Mutex
+	entries map[string]*plannerEntry
+	builds  atomic.Int64
+}
+
+// plannerEntry is one profiled (platform, app) pair.
+type plannerEntry struct {
+	planner      *core.Planner
+	models       core.Models
+	overhead     core.Overhead
+	platformName string // the config's display name, echoed in responses
+}
+
+func newPlannerPool(seed int64) *plannerPool {
+	return &plannerPool{seed: seed, entries: make(map[string]*plannerEntry)}
+}
+
+// platformByName maps the API's platform parameter to a config, mirroring
+// the CLI's accepted spellings.
+func platformByName(name string) (platform.Config, error) {
+	switch strings.ToLower(name) {
+	case "aws", "lambda", "aws-lambda":
+		return platform.AWSLambda(), nil
+	case "google", "gcf":
+		return platform.GoogleCloudFunctions(), nil
+	case "azure":
+		return platform.AzureFunctions(), nil
+	case "funcx":
+		return funcx.Config(), nil
+	default:
+		return platform.Config{}, fmt.Errorf("unknown platform %q (aws, google, azure, funcx)", name)
+	}
+}
+
+// get returns the entry for (platformName, appName), building and caching
+// it on first use. Unknown names are apiErrors (400s) so they never count
+// against the circuit breaker.
+func (p *plannerPool) get(ctx context.Context, platformName, appName string) (*plannerEntry, error) {
+	key := platformName + "|" + appName
+	p.mu.Lock()
+	e := p.entries[key]
+	p.mu.Unlock()
+	if e != nil {
+		return e, nil
+	}
+	v, err, _ := p.flights.Do(ctx, key, func() (any, error) {
+		// Double-check under the flight: a previous leader may have
+		// finished between our map read and the flight acquisition.
+		p.mu.Lock()
+		if e := p.entries[key]; e != nil {
+			p.mu.Unlock()
+			return e, nil
+		}
+		p.mu.Unlock()
+		w, err := workload.ByName(appName)
+		if err != nil {
+			return nil, badRequest("%v", err)
+		}
+		cfg, err := platformByName(platformName)
+		if err != nil {
+			return nil, badRequest("%v", err)
+		}
+		meas := &core.SimMeasurer{Config: cfg, Demand: w.Demand(), Seed: p.seed}
+		models, _, _, overhead, err := core.BuildModels(meas, core.ProfileOptionsFor(cfg, w.Demand()))
+		if err != nil {
+			return nil, fmt.Errorf("model build for %s on %s: %w", appName, platformName, err)
+		}
+		e := &plannerEntry{
+			planner: core.NewPlanner(models), models: models,
+			overhead: overhead, platformName: cfg.Name,
+		}
+		p.mu.Lock()
+		p.entries[key] = e
+		p.mu.Unlock()
+		p.builds.Add(1)
+		return e, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return v.(*plannerEntry), nil
+}
+
+// size reports the number of profiled pairs, for the models gauge.
+func (p *plannerPool) size() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.entries)
+}
