@@ -53,6 +53,14 @@ func (p *serveProc) stderrText() string {
 
 var listenRE = regexp.MustCompile(`serve: listening.*addr=([0-9A-Za-z\.\[\]:]+:[0-9]+)`)
 
+// Prometheus text-format 0.0.4 line grammar, mirrored from the obs package's
+// exposition tests: the e2e re-validates from outside the process so a broken
+// encoder cannot pass by agreeing with itself.
+var (
+	promTypeRE   = regexp.MustCompile(`^# TYPE [a-zA-Z_:][a-zA-Z0-9_:]* (counter|gauge|histogram|summary|untyped)$`)
+	promSampleRE = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[a-zA-Z_][a-zA-Z0-9_]*="(?:[^"\\]|\\.)*"(,[a-zA-Z_][a-zA-Z0-9_]*="(?:[^"\\]|\\.)*")*\})? (-?[0-9].*|[+-]Inf|NaN)$`)
+)
+
 // startServe launches the binary on an ephemeral port and scrapes the bound
 // address from its startup log line.
 func startServe(t *testing.T, bin string, extraArgs ...string) *serveProc {
@@ -131,7 +139,7 @@ func TestServeE2E(t *testing.T) {
 	// Low sustained rate with a burst of 10: the handful of golden requests
 	// (anonymous tenant) sail through; the hammer tenant below exhausts its
 	// own bucket and sees 429s.
-	p := startServe(t, bin, "-tenantrps", "1", "-tenantburst", "10", "-testhooks", "-seed", "1")
+	p := startServe(t, bin, "-tenantrps", "1", "-tenantburst", "10", "-testhooks", "-seed", "1", "-accesslog")
 
 	t.Run("golden", func(t *testing.T) {
 		cases := []struct {
@@ -188,6 +196,95 @@ func TestServeE2E(t *testing.T) {
 		// The hammer tenant's bucket is private: anonymous requests still pass.
 		if code, body, _ := httpGet(t, path+"&i=anon", nil); code != http.StatusOK {
 			t.Fatalf("anonymous request caught by hammer's limit: %d %s", code, body)
+		}
+	})
+
+	t.Run("metrics", func(t *testing.T) {
+		// A request with a caller-chosen ID: the ID must come back on the
+		// response and appear in the daemon's access log.
+		code, body, hdr := httpGet(t, p.base+"/v1/advise?app=Video&platform=aws&c=2000&ws=0.5",
+			map[string]string{"X-Request-ID": "e2e-trace-1"})
+		if code != http.StatusOK {
+			t.Fatalf("advise: %d %s", code, body)
+		}
+		if got := hdr.Get("X-Request-ID"); got != "e2e-trace-1" {
+			t.Fatalf("X-Request-ID not echoed: %q", got)
+		}
+		deadline := time.Now().Add(5 * time.Second)
+		for !strings.Contains(p.stderrText(), "e2e-trace-1") {
+			if time.Now().After(deadline) {
+				t.Fatalf("request ID never reached the access log; stderr:\n%s", p.stderrText())
+			}
+			time.Sleep(20 * time.Millisecond)
+		}
+		// A request without an ID gets a server-minted one.
+		_, _, hdr = httpGet(t, p.base+"/v1/advise?app=Video&platform=aws&c=2000&ws=0.5&i=noid", nil)
+		if hdr.Get("X-Request-ID") == "" {
+			t.Fatal("no server-minted X-Request-ID")
+		}
+
+		// The exposition must parse line by line, and its family set (the
+		// sorted `# TYPE` lines) is pinned to a golden: a scrape target whose
+		// families drift silently breaks dashboards and alerts.
+		code, body, hdr = httpGet(t, p.base+"/metrics", nil)
+		if code != http.StatusOK {
+			t.Fatalf("/metrics: %d", code)
+		}
+		if ct := hdr.Get("Content-Type"); !strings.Contains(ct, "version=0.0.4") {
+			t.Fatalf("/metrics Content-Type = %q, want Prometheus text format", ct)
+		}
+		var types []string
+		for _, line := range strings.Split(body, "\n") {
+			if line == "" {
+				continue
+			}
+			if strings.HasPrefix(line, "# TYPE ") {
+				if !promTypeRE.MatchString(line) {
+					t.Errorf("bad TYPE line: %q", line)
+				}
+				types = append(types, line)
+				continue
+			}
+			if strings.HasPrefix(line, "#") || !promSampleRE.MatchString(line) {
+				t.Errorf("unparseable exposition line: %q", line)
+			}
+		}
+		for _, want := range []string{
+			`http_route_requests_total{route="advise",code="200",tenant_class="anon"}`,
+			"stage_seconds_plan_count",
+			`slo_error_rate{window="300s"}`,
+			"go_goroutines",
+			`breaker_states{state="closed"} 1`,
+		} {
+			if !strings.Contains(body, want) {
+				t.Errorf("/metrics missing %q", want)
+			}
+		}
+		golden := filepath.Join("testdata", "serve_metrics_types.golden.txt")
+		gotTypes := strings.Join(types, "\n") + "\n"
+		if *update {
+			if err := os.WriteFile(golden, []byte(gotTypes), 0o644); err != nil {
+				t.Fatal(err)
+			}
+		} else {
+			want, err := os.ReadFile(golden)
+			if err != nil {
+				t.Fatalf("missing golden (run with -update): %v", err)
+			}
+			if gotTypes != string(want) {
+				t.Errorf("metric family set drifted from %s:\ngot:\n%s\nwant:\n%s", golden, gotTypes, want)
+			}
+		}
+
+		// The legacy dump stays reachable for humans.
+		if _, legacy, _ := httpGet(t, p.base+"/metrics?format=legacy", nil); strings.Contains(legacy, "# TYPE") {
+			t.Error("?format=legacy still served Prometheus format")
+		}
+
+		// /slo answers with the burn-rate report.
+		code, body, _ = httpGet(t, p.base+"/slo", nil)
+		if code != http.StatusOK || !strings.Contains(body, "availability_burn") {
+			t.Fatalf("/slo: %d %s", code, body)
 		}
 	})
 

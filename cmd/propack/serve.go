@@ -28,9 +28,14 @@ func cmdServe(args []string) error {
 	drainGrace := fs.Duration("draingrace", 0, "keep serving this long after /readyz flips to 503, so load balancers stop routing first")
 	drainTimeout := fs.Duration("draintimeout", 30*time.Second, "bound on draining in-flight requests at shutdown")
 	seed := fs.Int64("seed", 1, "simulation seed behind model building")
-	debug := fs.Bool("debug", false, "mount /debug/pprof, /debug/vars and /metrics on the serving listener")
+	debug := fs.Bool("debug", false, "mount /debug/pprof and /debug/vars on the serving listener (/metrics and /slo are always mounted)")
 	verbose := fs.Bool("v", false, "debug logging")
 	logfmt := fs.String("logfmt", "text", "log format: text or json")
+	accessLog := fs.Bool("accesslog", false, "log one structured line per /v1 request (request ID, route, status, duration)")
+	events := fs.String("events", "", "append per-request trace spans as JSONL to this file (same schema as the simulator's -events)")
+	sloAvail := fs.Float64("slo.availability", 0.999, "SLO: target fraction of requests without server-side failure")
+	sloLatTarget := fs.Float64("slo.latencytarget", 0.95, "SLO: target fraction of successful requests within -slo.latencythreshold")
+	sloLatThreshold := fs.Duration("slo.latencythreshold", 250*time.Millisecond, "SLO: latency objective threshold")
 	testHooks := fs.Bool("testhooks", false, "enable the delayms/panic fault-injection query params (e2e tests only; never in production)")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -39,7 +44,7 @@ func cmdServe(args []string) error {
 	if err != nil {
 		return err
 	}
-	s, err := server.New(server.Config{
+	cfg := server.Config{
 		MaxInFlight:    *maxInFlight,
 		MaxQueue:       *maxQueue,
 		RequestTimeout: *timeout,
@@ -51,7 +56,30 @@ func cmdServe(args []string) error {
 		Log:            logger,
 		EnableDebug:    *debug,
 		TestHooks:      *testHooks,
-	})
+		SLO: obs.SLOConfig{Objectives: obs.SLOObjectives{
+			Availability:        *sloAvail,
+			LatencyTarget:       *sloLatTarget,
+			LatencyThresholdSec: sloLatThreshold.Seconds(),
+		}},
+	}
+	if *accessLog {
+		cfg.AccessLog = logger
+	}
+	if *events != "" {
+		f, err := os.OpenFile(*events, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		rec := obs.NewJSONL(f)
+		defer func() {
+			if err := rec.Err(); err != nil {
+				logger.Error("serve: event stream write failed", "err", err)
+			}
+		}()
+		cfg.Trace = rec
+	}
+	s, err := server.New(cfg)
 	if err != nil {
 		return err
 	}

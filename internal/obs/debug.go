@@ -20,7 +20,9 @@ var publishOnce sync.Once
 //
 //	/debug/pprof/...  CPU, heap, goroutine, block profiles
 //	/debug/vars       expvar (incl. a live snapshot of reg, if non-nil)
-//	/metrics          human-readable dump of reg (absent when reg is nil)
+//	/metrics          Prometheus text exposition of reg, with the legacy
+//	                  human dump behind ?format=legacy (absent when reg is
+//	                  nil) — see MetricsHandler
 func DebugMux(reg *Registry) *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
@@ -31,10 +33,7 @@ func DebugMux(reg *Registry) *http.ServeMux {
 	mux.Handle("/debug/vars", expvar.Handler())
 	if reg != nil {
 		publishOnce.Do(func() { expvar.Publish("propack", reg.ExpvarFunc()) })
-		mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
-			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-			_ = reg.Fprint(w)
-		})
+		mux.Handle("/metrics", MetricsHandler(reg))
 	}
 	return mux
 }

@@ -1,0 +1,72 @@
+package obs
+
+import (
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestDebugShutdownWithScrapeInFlight is a regression test for clean
+// shutdown while a /metrics scrape is mid-flight: stop() must let the
+// in-flight response finish (graceful Shutdown) instead of cutting the
+// connection, and must return without error.
+func TestDebugShutdownWithScrapeInFlight(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("bursts_total").Add(3)
+
+	// A collector that parks the scrape until released gives a
+	// deterministic "scrape in flight" state with no sleeps.
+	started := make(chan struct{})
+	release := make(chan struct{})
+	var once sync.Once
+	reg.RegisterCollector(func(*Registry) {
+		once.Do(func() {
+			close(started)
+			<-release
+		})
+	})
+
+	addr, stop, err := StartDebug("127.0.0.1:0", reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	type scrape struct {
+		body string
+		err  error
+	}
+	scrapeDone := make(chan scrape, 1)
+	go func() {
+		resp, err := http.Get("http://" + addr + "/metrics")
+		if err != nil {
+			scrapeDone <- scrape{err: err}
+			return
+		}
+		defer resp.Body.Close()
+		b, err := io.ReadAll(resp.Body)
+		scrapeDone <- scrape{body: string(b), err: err}
+	}()
+
+	<-started // the scrape is now inside the handler
+	stopDone := make(chan error, 1)
+	go func() { stopDone <- stop() }()
+	close(release) // let the scrape complete
+
+	got := <-scrapeDone
+	if got.err != nil {
+		t.Fatalf("in-flight scrape failed during shutdown: %v", got.err)
+	}
+	if !strings.Contains(got.body, "bursts_total 3") {
+		t.Errorf("scrape body truncated: %q", got.body)
+	}
+	if err := <-stopDone; err != nil {
+		t.Errorf("stop() = %v, want nil", err)
+	}
+
+	// The listener is actually closed afterwards.
+	if _, err := http.Get("http://" + addr + "/metrics"); err == nil {
+		t.Error("server still accepting after stop()")
+	}
+}

@@ -43,11 +43,27 @@ const (
 	// StageHedge is the speculative duplicate's execution (win or lose).
 	StageHedge
 
-	numStages = int(StageHedge) + 1
+	// The remaining stages belong to the serve daemon's request path rather
+	// than the instance lifecycle: each guard of the robustness chain emits
+	// one span per request, so a request trace reads
+	// limit → admit → (plan | coalesce).
+
+	// StageLimit is the per-tenant rate-limit check.
+	StageLimit
+	// StageAdmit is time spent waiting for an admission slot.
+	StageAdmit
+	// StageCoalesce is a follower request waiting on a coalesced leader's
+	// computation (singleflight).
+	StageCoalesce
+	// StagePlan is the planner computation itself (the coalesced leader).
+	StagePlan
+
+	numStages = int(StagePlan) + 1
 )
 
 var stageNames = [numStages]string{
 	"queued", "sched", "build", "ship", "boot", "exec", "hedge",
+	"limit", "admit", "coalesce", "plan",
 }
 
 func (s Stage) String() string {

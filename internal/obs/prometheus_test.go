@@ -1,0 +1,294 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"math"
+	"net/http/httptest"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// expositionLineRE accepts the two line shapes of text format 0.0.4 we emit:
+// `# TYPE name type` comments and `name{labels} value` samples.
+var (
+	typeLineRE   = regexp.MustCompile(`^# TYPE [a-zA-Z_:][a-zA-Z0-9_:]* (counter|gauge|histogram)$`)
+	sampleLineRE = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[a-zA-Z_][a-zA-Z0-9_]*="(?:[^"\\\n]|\\\\|\\"|\\n)*"(,[a-zA-Z_][a-zA-Z0-9_]*="(?:[^"\\\n]|\\\\|\\"|\\n)*")*\})? \S+$`)
+)
+
+// validateExposition parses every line against the exposition grammar and
+// returns the sample lines keyed by series id. Shared with the e2e test's
+// expectations in spirit: any line that is neither a TYPE comment nor a
+// well-formed sample fails the test.
+func validateExposition(t *testing.T, body string) map[string]string {
+	t.Helper()
+	samples := map[string]string{}
+	sc := bufio.NewScanner(strings.NewReader(body))
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			if !typeLineRE.MatchString(line) {
+				t.Errorf("bad comment line: %q", line)
+			}
+			continue
+		}
+		if !sampleLineRE.MatchString(line) {
+			t.Errorf("bad sample line: %q", line)
+			continue
+		}
+		sp := strings.LastIndexByte(line, ' ')
+		id, val := line[:sp], line[sp+1:]
+		if _, ok := samples[id]; ok {
+			t.Errorf("duplicate series %q", id)
+		}
+		samples[id] = val
+		if val != "+Inf" && val != "-Inf" && val != "NaN" {
+			if _, err := strconv.ParseFloat(val, 64); err != nil {
+				t.Errorf("unparseable value %q in line %q", val, line)
+			}
+		}
+	}
+	return samples
+}
+
+func TestWritePrometheusScalars(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("bursts_total").Add(7)
+	reg.Gauge("inflight").Set(2.5)
+
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	samples := validateExposition(t, sb.String())
+	if samples["bursts_total"] != "7" {
+		t.Errorf("bursts_total = %q, want 7", samples["bursts_total"])
+	}
+	if samples["inflight"] != "2.5" {
+		t.Errorf("inflight = %q, want 2.5", samples["inflight"])
+	}
+	if !strings.Contains(sb.String(), "# TYPE bursts_total counter") {
+		t.Error("missing TYPE line for bursts_total")
+	}
+}
+
+func TestWritePrometheusHistogram(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("lat_seconds", []float64{0.1, 1, 10})
+	for _, v := range []float64{0.05, 0.5, 0.5, 5, 50} {
+		h.Observe(v)
+	}
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	samples := validateExposition(t, sb.String())
+
+	// Buckets must be cumulative and the +Inf bucket must equal _count.
+	want := map[string]string{
+		`lat_seconds_bucket{le="0.1"}`:  "1",
+		`lat_seconds_bucket{le="1"}`:    "3",
+		`lat_seconds_bucket{le="10"}`:   "4",
+		`lat_seconds_bucket{le="+Inf"}`: "5",
+		`lat_seconds_count`:             "5",
+		`lat_seconds_sum`:               "56.05",
+	}
+	for k, v := range want {
+		if samples[k] != v {
+			t.Errorf("%s = %q, want %q", k, samples[k], v)
+		}
+	}
+	if !strings.Contains(sb.String(), "# TYPE lat_seconds histogram") {
+		t.Error("missing histogram TYPE line")
+	}
+}
+
+func TestWritePrometheusVectors(t *testing.T) {
+	reg := NewRegistry()
+	reg.CounterVec("req_total", "route", "code").With("advise", "200").Add(4)
+	reg.CounterVec("req_total", "route", "code").With("plan", "500").Inc()
+	reg.HistogramVec("req_seconds", []string{"route"}, []float64{1}).With("advise").Observe(0.5)
+
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	samples := validateExposition(t, sb.String())
+	if samples[`req_total{route="advise",code="200"}`] != "4" {
+		t.Errorf("labeled counter missing/wrong: %v", samples)
+	}
+	if samples[`req_seconds_bucket{route="advise",le="1"}`] != "1" {
+		t.Error("vec histogram bucket missing series labels before le")
+	}
+	if samples[`req_seconds_count{route="advise"}`] != "1" {
+		t.Error("vec histogram _count missing")
+	}
+}
+
+func TestWritePrometheusSanitization(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("events_start-retry").Inc() // hyphen → underscore
+	reg.CounterVec("weird", "label-name").With("quote\" slash\\ nl\n").Inc()
+
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	samples := validateExposition(t, out)
+	if _, ok := samples["events_start_retry"]; !ok {
+		t.Errorf("hyphenated metric not sanitized: %v", samples)
+	}
+	if _, ok := samples[`weird{label_name="quote\" slash\\ nl\n"}`]; !ok {
+		t.Errorf("label escaping wrong: %q", out)
+	}
+}
+
+func TestWritePrometheusDeterministic(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("z_total").Inc()
+	reg.Counter("a_total").Inc()
+	reg.GaugeVec("g", "k").With("b").Set(1)
+	reg.GaugeVec("g", "k").With("a").Set(2)
+
+	var a, b strings.Builder
+	if err := reg.WritePrometheus(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Error("two encodes of the same registry differ")
+	}
+	if strings.Index(a.String(), "a_total") > strings.Index(a.String(), "z_total") {
+		t.Error("families not sorted by name")
+	}
+	if strings.Index(a.String(), `g{k="a"}`) > strings.Index(a.String(), `g{k="b"}`) {
+		t.Error("series not sorted within family")
+	}
+}
+
+func TestFormatValue(t *testing.T) {
+	cases := map[float64]string{
+		0:           "0",
+		42:          "42",
+		-3:          "-3",
+		2.5:         "2.5",
+		0.001:       "0.001",
+		math.Inf(1): "+Inf",
+	}
+	for in, want := range cases {
+		if got := formatValue(in); got != want {
+			t.Errorf("formatValue(%v) = %q, want %q", in, got, want)
+		}
+	}
+	if got := formatValue(math.Inf(-1)); got != "-Inf" {
+		t.Errorf("-Inf = %q", got)
+	}
+	if got := formatValue(math.NaN()); got != "NaN" {
+		t.Errorf("NaN = %q", got)
+	}
+}
+
+func TestMetricsHandlerContentNegotiation(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("bursts_total").Inc()
+	h := MetricsHandler(reg)
+
+	// Default: Prometheus text format.
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if ct := rec.Header().Get("Content-Type"); ct != PrometheusContentType {
+		t.Errorf("default Content-Type = %q", ct)
+	}
+	if !strings.Contains(rec.Body.String(), "# TYPE bursts_total counter") {
+		t.Errorf("default body not Prometheus: %q", rec.Body.String())
+	}
+
+	// ?format=legacy: the aligned human dump.
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/metrics?format=legacy", nil))
+	if !strings.Contains(rec.Body.String(), "counter") || strings.Contains(rec.Body.String(), "# TYPE") {
+		t.Errorf("legacy body wrong: %q", rec.Body.String())
+	}
+
+	// Accept header route to legacy.
+	req := httptest.NewRequest("GET", "/metrics", nil)
+	req.Header.Set("Accept", legacyAccept)
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if strings.Contains(rec.Body.String(), "# TYPE") {
+		t.Error("Accept negotiation did not select legacy dump")
+	}
+}
+
+func TestCollectorRunsAtScrape(t *testing.T) {
+	reg := NewRegistry()
+	calls := 0
+	reg.RegisterCollector(func(r *Registry) {
+		calls++
+		r.Gauge("derived").Set(float64(calls))
+	})
+	var sb strings.Builder
+	_ = reg.WritePrometheus(&sb)
+	if calls != 1 || !strings.Contains(sb.String(), "derived 1") {
+		t.Errorf("collector not run at encode: calls=%d body=%q", calls, sb.String())
+	}
+	snap := reg.Snapshot()
+	if calls != 2 || snap.Gauges["derived"] != 2 {
+		t.Errorf("collector not run at snapshot: calls=%d", calls)
+	}
+}
+
+func TestGoRuntimeCollector(t *testing.T) {
+	reg := NewRegistry()
+	reg.RegisterCollector(GoRuntimeCollector())
+	snap := reg.Snapshot()
+	if snap.Gauges["go_goroutines"] < 1 {
+		t.Errorf("go_goroutines = %v", snap.Gauges["go_goroutines"])
+	}
+	if snap.Gauges["go_heap_alloc_bytes"] <= 0 {
+		t.Errorf("go_heap_alloc_bytes = %v", snap.Gauges["go_heap_alloc_bytes"])
+	}
+	if snap.Gauges["go_gomaxprocs"] < 1 {
+		t.Errorf("go_gomaxprocs = %v", snap.Gauges["go_gomaxprocs"])
+	}
+}
+
+// TestWritePrometheusConcurrent encodes while writers mutate every metric
+// kind, for the -race stress job.
+func TestWritePrometheusConcurrent(t *testing.T) {
+	reg := NewRegistry()
+	reg.RegisterCollector(GoRuntimeCollector())
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			reg.Counter("c").Inc()
+			reg.Gauge("g").Set(float64(i))
+			reg.Histogram("h", nil).Observe(0.01)
+			reg.CounterVec("cv", "k").With(fmt.Sprintf("k%d", i%8)).Inc()
+		}
+	}()
+	for i := 0; i < 100; i++ {
+		var sb strings.Builder
+		if err := reg.WritePrometheus(&sb); err != nil {
+			t.Fatal(err)
+		}
+		validateExposition(t, sb.String())
+	}
+	close(stop)
+	<-done
+}

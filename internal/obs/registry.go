@@ -46,6 +46,10 @@ var DefaultLatencyBuckets = []float64{
 
 // Histogram is a fixed-bucket latency histogram: counts[i] observations fell
 // in (bounds[i−1], bounds[i]], with one overflow bucket past the last bound.
+// The zero value is usable and adopts DefaultLatencyBuckets on first
+// Observe — constructing a Histogram directly (or asking the registry for
+// one with nil bounds) must never yield a handle that panics or divides by
+// zero.
 type Histogram struct {
 	mu     sync.Mutex
 	bounds []float64
@@ -55,10 +59,31 @@ type Histogram struct {
 	max    float64
 }
 
+// NewHistogram builds a histogram with the given bucket bounds; nil bounds
+// mean DefaultLatencyBuckets. The bounds slice is not copied — callers that
+// reuse one may share it across histograms (HistogramVec does).
+func NewHistogram(bounds []float64) *Histogram {
+	if bounds == nil {
+		bounds = DefaultLatencyBuckets
+	}
+	return &Histogram{bounds: bounds, counts: make([]uint64, len(bounds)+1)}
+}
+
+// ensureInit backs the zero-value contract (callers hold h.mu).
+func (h *Histogram) ensureInit() {
+	if h.counts == nil {
+		if h.bounds == nil {
+			h.bounds = DefaultLatencyBuckets
+		}
+		h.counts = make([]uint64, len(h.bounds)+1)
+	}
+}
+
 // Observe records one value.
 func (h *Histogram) Observe(v float64) {
 	h.mu.Lock()
 	defer h.mu.Unlock()
+	h.ensureInit()
 	i := sort.SearchFloat64s(h.bounds, v)
 	h.counts[i]++
 	h.sum += v
@@ -89,12 +114,18 @@ func (h *Histogram) Mean() float64 {
 
 // Quantile returns an upper bound for the q-th percentile (q in [0,100]):
 // the bucket bound below which at least q% of observations fall. The last
-// bucket reports the observed maximum.
+// bucket reports the observed maximum. An empty histogram reports 0 and a
+// non-finite or out-of-range q is clamped — Quantile never returns NaN.
 func (h *Histogram) Quantile(q float64) float64 {
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	if h.n == 0 {
 		return 0
+	}
+	if math.IsNaN(q) || q < 0 {
+		q = 0
+	} else if q > 100 {
+		q = 100
 	}
 	target := uint64(math.Ceil(q / 100 * float64(h.n)))
 	if target < 1 {
@@ -121,6 +152,15 @@ func (h *Histogram) Buckets() (bounds []float64, counts []uint64) {
 	return append([]float64(nil), h.bounds...), append([]uint64(nil), h.counts...)
 }
 
+// export copies the full histogram state under one lock, so exposition
+// emits a self-consistent (buckets, sum, count) triple even under
+// concurrent Observes.
+func (h *Histogram) export() (bounds []float64, counts []uint64, sum float64, n uint64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return append([]float64(nil), h.bounds...), append([]uint64(nil), h.counts...), h.sum, h.n
+}
+
 // Registry is an in-process metrics registry: named counters, gauges, and
 // fixed-bucket histograms. All methods are safe for concurrent use; metric
 // handles are created on first touch and stable thereafter. Lookups on the
@@ -132,6 +172,37 @@ type Registry struct {
 	counters sync.Map // string → *Counter
 	gauges   sync.Map // string → *Gauge
 	hists    sync.Map // string → *Histogram
+
+	counterVecs sync.Map // string → *CounterVec
+	gaugeVecs   sync.Map // string → *GaugeVec
+	histVecs    sync.Map // string → *HistogramVec
+
+	collectorMu sync.Mutex
+	collectors  []Collector
+}
+
+// Collector refreshes derived metrics (runtime stats, breaker state, SLO
+// burn rates) at observation time. Registered collectors run before every
+// Snapshot, Fprint, and WritePrometheus, so scrape-time values are current
+// without a background goroutine polling between scrapes.
+type Collector func(*Registry)
+
+// RegisterCollector adds a collector. Collectors run in registration order
+// and must be safe to invoke concurrently with metric updates.
+func (r *Registry) RegisterCollector(c Collector) {
+	r.collectorMu.Lock()
+	defer r.collectorMu.Unlock()
+	r.collectors = append(r.collectors, c)
+}
+
+// collect runs the registered collectors.
+func (r *Registry) collect() {
+	r.collectorMu.Lock()
+	cs := append([]Collector(nil), r.collectors...)
+	r.collectorMu.Unlock()
+	for _, c := range cs {
+		c(r)
+	}
 }
 
 // NewRegistry returns an empty registry.
@@ -167,10 +238,7 @@ func (r *Registry) Histogram(name string, bounds []float64) *Histogram {
 	if bounds == nil {
 		bounds = DefaultLatencyBuckets
 	}
-	fresh := &Histogram{
-		bounds: append([]float64(nil), bounds...),
-		counts: make([]uint64, len(bounds)+1),
-	}
+	fresh := NewHistogram(append([]float64(nil), bounds...))
 	h, _ := r.hists.LoadOrStore(name, fresh)
 	return h.(*Histogram)
 }
@@ -181,6 +249,11 @@ type Snapshot struct {
 	Counters map[string]int64        `json:"counters"`
 	Gauges   map[string]float64      `json:"gauges"`
 	Hists    map[string]HistSnapshot `json:"histograms"`
+	// Series flattens labeled counter and gauge series under
+	// `name{label="value",…}` keys; HistSeries does the same for labeled
+	// histograms. Both are omitted when no vectors exist.
+	Series     map[string]float64      `json:"series,omitempty"`
+	HistSeries map[string]HistSnapshot `json:"hist_series,omitempty"`
 }
 
 // HistSnapshot summarizes one histogram.
@@ -193,8 +266,9 @@ type HistSnapshot struct {
 	Max   float64 `json:"max"`
 }
 
-// Snapshot captures the current metric values.
+// Snapshot captures the current metric values (running collectors first).
 func (r *Registry) Snapshot() Snapshot {
+	r.collect()
 	snap := Snapshot{
 		Counters: map[string]int64{},
 		Gauges:   map[string]float64{},
@@ -210,13 +284,47 @@ func (r *Registry) Snapshot() Snapshot {
 	})
 	r.hists.Range(func(k, v any) bool {
 		h := v.(*Histogram)
-		snap.Hists[k.(string)] = HistSnapshot{
-			Count: h.Count(), Sum: h.Sum(), Mean: h.Mean(),
-			P50: h.Quantile(50), P95: h.Quantile(95), Max: h.Max(),
-		}
+		snap.Hists[k.(string)] = histSnapshotOf(h)
+		return true
+	})
+	r.counterVecs.Range(func(k, v any) bool {
+		vec := v.(*CounterVec)
+		vec.Range(func(values []string, c *Counter) {
+			if snap.Series == nil {
+				snap.Series = map[string]float64{}
+			}
+			snap.Series[formatSeries(k.(string), vec.core.labels, values)] = float64(c.Value())
+		})
+		return true
+	})
+	r.gaugeVecs.Range(func(k, v any) bool {
+		vec := v.(*GaugeVec)
+		vec.Range(func(values []string, g *Gauge) {
+			if snap.Series == nil {
+				snap.Series = map[string]float64{}
+			}
+			snap.Series[formatSeries(k.(string), vec.core.labels, values)] = g.Value()
+		})
+		return true
+	})
+	r.histVecs.Range(func(k, v any) bool {
+		vec := v.(*HistogramVec)
+		vec.Range(func(values []string, h *Histogram) {
+			if snap.HistSeries == nil {
+				snap.HistSeries = map[string]HistSnapshot{}
+			}
+			snap.HistSeries[formatSeries(k.(string), vec.core.labels, values)] = histSnapshotOf(h)
+		})
 		return true
 	})
 	return snap
+}
+
+func histSnapshotOf(h *Histogram) HistSnapshot {
+	return HistSnapshot{
+		Count: h.Count(), Sum: h.Sum(), Mean: h.Mean(),
+		P50: h.Quantile(50), P95: h.Quantile(95), Max: h.Max(),
+	}
 }
 
 // Fprint writes a human-readable, alphabetically sorted dump of the
@@ -232,6 +340,14 @@ func (r *Registry) Fprint(w io.Writer) error {
 	}
 	for _, name := range sortedKeys(snap.Hists) {
 		h := snap.Hists[name]
+		fmt.Fprintf(tw, "histogram\t%s\tn=%d mean=%.3fs p50≤%.3gs p95≤%.3gs max=%.3fs\n",
+			name, h.Count, h.Mean, h.P50, h.P95, h.Max)
+	}
+	for _, name := range sortedKeys(snap.Series) {
+		fmt.Fprintf(tw, "series\t%s\t%g\n", name, snap.Series[name])
+	}
+	for _, name := range sortedKeys(snap.HistSeries) {
+		h := snap.HistSeries[name]
 		fmt.Fprintf(tw, "histogram\t%s\tn=%d mean=%.3fs p50≤%.3gs p95≤%.3gs max=%.3fs\n",
 			name, h.Count, h.Mean, h.P50, h.P95, h.Max)
 	}

@@ -1,0 +1,201 @@
+package obs
+
+import (
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Labeled metric vectors: a family of Counter/Gauge/Histogram children keyed
+// by an ordered tuple of label values. Two production constraints shape the
+// implementation:
+//
+//  1. The hot path must stay lock-free after first touch, consistent with
+//     the registry's sharded/sync.Map design (PR 5): With() on an existing
+//     series is one sync.Map read — no locks, no allocation beyond the key.
+//  2. Cardinality must be bounded. Labels derived from request attributes
+//     can be driven adversarially (a client minting a fresh tenant key per
+//     request would otherwise grow the series map without limit), so every
+//     vector caps its distinct series; past the cap, new label tuples
+//     collapse into one shared overflow series whose every label value is
+//     VecOverflowValue. The cap is a safety net, not a feature — emitters
+//     should still map unbounded attributes to small classes before
+//     labeling.
+
+// DefaultMaxSeries bounds the distinct label-value combinations per vector.
+const DefaultMaxSeries = 256
+
+// VecOverflowValue is the label value of the shared overflow series that
+// absorbs new label tuples once a vector reaches its series cap.
+const VecOverflowValue = "_overflow"
+
+// labelSep joins label values into the series key. 0x1f (ASCII unit
+// separator) cannot appear in sane label values; values containing it would
+// only alias with each other.
+const labelSep = "\x1f"
+
+// series pairs a child metric with its label values, so exporters recover
+// the labels without re-splitting keys.
+type series[M any] struct {
+	values []string
+	metric M
+}
+
+// vecCore is the shared label-keying and cardinality-bounding machinery.
+type vecCore[M any] struct {
+	name   string
+	labels []string
+	max    int64
+	mk     func() M
+	m      sync.Map // joined label values → *series[M]
+	n      atomic.Int64
+}
+
+func newVecCore[M any](name string, labels []string, mk func() M) *vecCore[M] {
+	return &vecCore[M]{name: name, labels: append([]string(nil), labels...), max: DefaultMaxSeries, mk: mk}
+}
+
+func joinLabels(values []string) string { return strings.Join(values, labelSep) }
+
+// with returns the child for the label tuple, creating it if the vector has
+// room and routing to the overflow series otherwise. len(values) must equal
+// len(labels) — a mismatch is a programming error at a fixed call site.
+func (v *vecCore[M]) with(values []string) M {
+	if len(values) != len(v.labels) {
+		panic("obs: vector " + v.name + " got wrong label count")
+	}
+	key := joinLabels(values)
+	if s, ok := v.m.Load(key); ok {
+		return s.(*series[M]).metric
+	}
+	if v.n.Load() >= v.max {
+		return v.overflow()
+	}
+	fresh := &series[M]{values: append([]string(nil), values...), metric: v.mk()}
+	actual, loaded := v.m.LoadOrStore(key, fresh)
+	if !loaded {
+		v.n.Add(1)
+	}
+	return actual.(*series[M]).metric
+}
+
+// overflow returns the shared past-cap series, creating it on first need.
+// It does not count against the cap (it is the cap's escape hatch).
+func (v *vecCore[M]) overflow() M {
+	values := make([]string, len(v.labels))
+	for i := range values {
+		values[i] = VecOverflowValue
+	}
+	key := joinLabels(values)
+	if s, ok := v.m.Load(key); ok {
+		return s.(*series[M]).metric
+	}
+	actual, _ := v.m.LoadOrStore(key, &series[M]{values: values, metric: v.mk()})
+	return actual.(*series[M]).metric
+}
+
+// len reports the live series count (overflow included once created).
+func (v *vecCore[M]) len() int {
+	n := 0
+	v.m.Range(func(any, any) bool { n++; return true })
+	return n
+}
+
+// rangeSorted visits every series in deterministic (key-sorted) order.
+func (v *vecCore[M]) rangeSorted(f func(values []string, m M)) {
+	keys := make([]string, 0, 16)
+	v.m.Range(func(k, _ any) bool { keys = append(keys, k.(string)); return true })
+	sort.Strings(keys)
+	for _, k := range keys {
+		if s, ok := v.m.Load(k); ok {
+			sv := s.(*series[M])
+			f(sv.values, sv.metric)
+		}
+	}
+}
+
+// CounterVec is a family of counters keyed by label values.
+type CounterVec struct{ core *vecCore[*Counter] }
+
+// With returns the counter for the label tuple.
+func (v *CounterVec) With(values ...string) *Counter { return v.core.with(values) }
+
+// Labels returns the vector's label names.
+func (v *CounterVec) Labels() []string { return append([]string(nil), v.core.labels...) }
+
+// Len reports the live series count.
+func (v *CounterVec) Len() int { return v.core.len() }
+
+// Range visits every series in deterministic order.
+func (v *CounterVec) Range(f func(values []string, c *Counter)) { v.core.rangeSorted(f) }
+
+// GaugeVec is a family of gauges keyed by label values.
+type GaugeVec struct{ core *vecCore[*Gauge] }
+
+// With returns the gauge for the label tuple.
+func (v *GaugeVec) With(values ...string) *Gauge { return v.core.with(values) }
+
+// Labels returns the vector's label names.
+func (v *GaugeVec) Labels() []string { return append([]string(nil), v.core.labels...) }
+
+// Len reports the live series count.
+func (v *GaugeVec) Len() int { return v.core.len() }
+
+// Range visits every series in deterministic order.
+func (v *GaugeVec) Range(f func(values []string, g *Gauge)) { v.core.rangeSorted(f) }
+
+// HistogramVec is a family of histograms keyed by label values; every child
+// shares the bounds fixed at the vector's creation.
+type HistogramVec struct{ core *vecCore[*Histogram] }
+
+// With returns the histogram for the label tuple.
+func (v *HistogramVec) With(values ...string) *Histogram { return v.core.with(values) }
+
+// Labels returns the vector's label names.
+func (v *HistogramVec) Labels() []string { return append([]string(nil), v.core.labels...) }
+
+// Len reports the live series count.
+func (v *HistogramVec) Len() int { return v.core.len() }
+
+// Range visits every series in deterministic order.
+func (v *HistogramVec) Range(f func(values []string, h *Histogram)) { v.core.rangeSorted(f) }
+
+// CounterVec returns the named counter vector, creating it with the given
+// label names if needed. Label names are fixed at creation; later calls
+// ignore the argument (same contract as Histogram bounds).
+func (r *Registry) CounterVec(name string, labels ...string) *CounterVec {
+	if v, ok := r.counterVecs.Load(name); ok {
+		return v.(*CounterVec)
+	}
+	fresh := &CounterVec{core: newVecCore(name, labels, func() *Counter { return &Counter{} })}
+	v, _ := r.counterVecs.LoadOrStore(name, fresh)
+	return v.(*CounterVec)
+}
+
+// GaugeVec returns the named gauge vector, creating it with the given label
+// names if needed.
+func (r *Registry) GaugeVec(name string, labels ...string) *GaugeVec {
+	if v, ok := r.gaugeVecs.Load(name); ok {
+		return v.(*GaugeVec)
+	}
+	fresh := &GaugeVec{core: newVecCore(name, labels, func() *Gauge { return &Gauge{} })}
+	v, _ := r.gaugeVecs.LoadOrStore(name, fresh)
+	return v.(*GaugeVec)
+}
+
+// HistogramVec returns the named histogram vector, creating it with the
+// given label names and bucket bounds (nil bounds mean
+// DefaultLatencyBuckets) if needed.
+func (r *Registry) HistogramVec(name string, labels []string, bounds []float64) *HistogramVec {
+	if v, ok := r.histVecs.Load(name); ok {
+		return v.(*HistogramVec)
+	}
+	if bounds == nil {
+		bounds = DefaultLatencyBuckets
+	}
+	shared := append([]float64(nil), bounds...)
+	fresh := &HistogramVec{core: newVecCore(name, labels, func() *Histogram { return NewHistogram(shared) })}
+	v, _ := r.histVecs.LoadOrStore(name, fresh)
+	return v.(*HistogramVec)
+}

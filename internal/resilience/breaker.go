@@ -289,6 +289,13 @@ func (b *Breaker) State() BreakerState {
 	return b.state
 }
 
+// BreakerStates lists every state in declaration order, for exporters that
+// render the state as a one-hot labeled vector (the numeric State gauge is
+// opaque on a dashboard; breaker_states{state="open"} 1 is not).
+func BreakerStates() []BreakerState {
+	return []BreakerState{BreakerClosed, BreakerOpen, BreakerHalfOpen}
+}
+
 // Opens reports the cumulative number of trips, for metrics.
 func (b *Breaker) Opens() int64 {
 	b.mu.Lock()

@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/orchestrator"
 	"repro/internal/workload"
 )
@@ -74,6 +75,8 @@ type computeFn func(ctx context.Context, q url.Values) (any, error)
 // endpoint wraps a compute function in the full robustness chain:
 // panic recovery → rate limit → admission → deadline → breaker →
 // coalescing → compute, with every decision surfaced in the registry.
+// When the telemetry middleware is active, each guard stage also emits a
+// span into the request's trace (limit → admit → plan-or-coalesce).
 func (s *Server) endpoint(name string, compute computeFn) http.Handler {
 	reqs := s.reg.Counter("http_requests_" + name)
 	lat := s.reg.Histogram("http_seconds_"+name, nil)
@@ -94,10 +97,14 @@ func (s *Server) endpoint(name string, compute computeFn) http.Handler {
 		}
 		reqs.Inc()
 		s.reg.Counter("http_requests_total").Inc()
+		rt := traceOf(w)
 
 		// Per-tenant token bucket.
 		tenant := tenantOf(r)
-		if ok, retryAfter := s.tenants.allow(tenant, s.cfg.Clock()); !ok {
+		mark := rt.origin()
+		ok, retryAfter := s.tenants.allow(tenant, s.cfg.Clock())
+		mark = rt.spanFrom(obs.StageLimit, mark)
+		if !ok {
 			s.reg.Counter("http_ratelimited_total").Inc()
 			s.log.Debug("rate limited", "tenant", tenant, "endpoint", name)
 			writeAPIError(w, &apiError{
@@ -111,6 +118,7 @@ func (s *Server) endpoint(name string, compute computeFn) http.Handler {
 
 		// Admission: bounded in-flight work, bounded queue, honest shedding.
 		release, st := s.adm.acquire(r.Context())
+		mark = rt.spanFrom(obs.StageAdmit, mark)
 		s.reg.Gauge("http_queue_depth").Set(float64(s.adm.queued()))
 		switch st {
 		case admitShed:
@@ -158,6 +166,13 @@ func (s *Server) endpoint(name string, compute computeFn) http.Handler {
 		})
 		dur := time.Since(start).Seconds()
 		lat.Observe(dur)
+		if shared {
+			// A follower spent the interval waiting on the leader's
+			// computation, not computing.
+			rt.spanFrom(obs.StageCoalesce, mark)
+		} else {
+			rt.spanFrom(obs.StagePlan, mark)
+		}
 		var ae *apiError
 		if err != nil {
 			ae = toAPIError(err)

@@ -89,8 +89,25 @@ type Config struct {
 	Reg *obs.Registry
 	// Log receives structured logs; nil discards them.
 	Log *slog.Logger
-	// EnableDebug mounts obs.DebugMux (pprof, expvar, /metrics) on the
-	// service mux.
+	// AccessLog receives one structured line per /v1 request (request ID,
+	// route, status, tenant class, duration). Nil disables access logging —
+	// the metrics and trace stream carry the same signal without the
+	// per-request formatting cost.
+	AccessLog *slog.Logger
+	// Trace receives one burst per /v1 request — guard-stage spans labeled
+	// with the request ID — in the same typed stream the simulator emits.
+	// Nil disables request tracing (stage histograms still populate).
+	Trace obs.Recorder
+	// SLO configures the /slo tracker's objectives and windows; the zero
+	// value takes obs defaults (99.9% availability, 95% < 250 ms). The
+	// tracker's clock follows Config.Clock.
+	SLO obs.SLOConfig
+	// DisableTelemetry strips the per-request instrumentation middleware
+	// (request IDs, RED metrics, SLO accounting, spans). Only the telemetry
+	// overhead benchmark should set this.
+	DisableTelemetry bool
+	// EnableDebug mounts obs.DebugMux (pprof, expvar) on the service mux.
+	// The /metrics and /slo routes are always mounted.
 	EnableDebug bool
 
 	// TestHooks enables the `delayms` and `panic` query parameters that the
@@ -145,6 +162,9 @@ func (c Config) withDefaults() Config {
 	if c.Clock == nil {
 		c.Clock = time.Now
 	}
+	if c.SLO.Clock == nil {
+		c.SLO.Clock = c.Clock
+	}
 	return c
 }
 
@@ -160,6 +180,8 @@ type Server struct {
 	breaker *resilience.Breaker
 	flights flightGroup
 	pool    *plannerPool
+	slo     *obs.SLO
+	tel     *telemetry
 	ready   atomic.Bool
 }
 
@@ -179,11 +201,22 @@ func New(cfg Config) (*Server, error) {
 		tenants: newTenantLimiter(cfg.TenantRPS, cfg.TenantBurst, cfg.MaxTenants),
 		breaker: br,
 		pool:    newPlannerPool(cfg.Seed),
+		slo:     obs.NewSLO(cfg.SLO),
 	}
-	s.mux.Handle("/v1/advise", s.endpoint("advise", s.computeAdvise))
-	s.mux.Handle("/v1/plan", s.endpoint("plan", s.computePlan))
-	s.mux.Handle("/v1/qos", s.endpoint("qos", s.computeQoS))
-	s.mux.Handle("/v1/mixed", s.endpoint("mixed", s.computeMixed))
+	if !cfg.DisableTelemetry {
+		s.tel = newTelemetry(cfg, s.slo)
+	}
+	route := func(name string, fn computeFn) http.Handler {
+		h := s.endpoint(name, fn)
+		if s.tel != nil {
+			h = s.tel.instrument(name, h)
+		}
+		return h
+	}
+	s.mux.Handle("/v1/advise", route("advise", s.computeAdvise))
+	s.mux.Handle("/v1/plan", route("plan", s.computePlan))
+	s.mux.Handle("/v1/qos", route("qos", s.computeQoS))
+	s.mux.Handle("/v1/mixed", route("mixed", s.computeMixed))
 	s.mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 	})
@@ -194,12 +227,57 @@ func New(cfg Config) (*Server, error) {
 		}
 		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
 	})
+	s.mux.Handle("/metrics", obs.MetricsHandler(cfg.Reg))
+	s.mux.HandleFunc("/slo", func(w http.ResponseWriter, _ *http.Request) {
+		writeJSON(w, http.StatusOK, s.slo.Status())
+	})
 	if cfg.EnableDebug {
-		debug := obs.DebugMux(cfg.Reg)
-		s.mux.Handle("/debug/", debug)
-		s.mux.Handle("/metrics", debug)
+		s.mux.Handle("/debug/", obs.DebugMux(cfg.Reg))
 	}
+	s.reg.RegisterCollector(obs.GoRuntimeCollector())
+	s.reg.RegisterCollector(obs.SLOCollector(s.slo))
+	s.reg.RegisterCollector(s.breakerCollector())
+	s.preregister()
 	return s, nil
+}
+
+// breakerCollector mirrors the breaker into the registry at scrape time: the
+// numeric breaker_state gauge (kept for existing dashboards), a one-hot
+// breaker_states{state} vector, and the cumulative trip count.
+func (s *Server) breakerCollector() obs.Collector {
+	return func(r *obs.Registry) {
+		cur := s.breaker.State()
+		r.Gauge("breaker_state").Set(float64(cur))
+		vec := r.GaugeVec("breaker_states", "state")
+		for _, st := range resilience.BreakerStates() {
+			v := 0.0
+			if st == cur {
+				v = 1
+			}
+			vec.With(st.String()).Set(v)
+		}
+		r.Counter("breaker_opens_total").Add(s.breaker.Opens() - r.Counter("breaker_opens_total").Value())
+	}
+}
+
+// preregister touches every metric family the request path creates lazily,
+// so the exposition's `# TYPE` set is complete from the first scrape — a
+// scrape target whose family list depends on which failure modes have
+// already fired is miserable to alert on, and the e2e golden test relies on
+// the stable set.
+func (s *Server) preregister() {
+	for _, name := range []string{
+		"http_requests_total", "http_ratelimited_total", "http_shed_total",
+		"http_queue_timeout_total", "http_coalesced_total",
+		"breaker_rejected_total", "http_panics_total", "ratelimit_evictions_total",
+	} {
+		s.reg.Counter(name)
+	}
+	for _, name := range []string{
+		"http_queue_depth", "http_inflight", "ratelimit_tenants", "planner_models",
+	} {
+		s.reg.Gauge(name)
+	}
 }
 
 // Handler returns the service mux (for tests and custom listeners).
