@@ -1,0 +1,117 @@
+package platform
+
+// instanceBatch holds a control-plane run's per-instance hot state in
+// struct-of-arrays layout: every lifecycle milestone, fault counter, and
+// flag lives in its own densely packed array rather than as a field of a
+// ~160-byte Timeline struct. The control-plane closures touch one or two
+// fields per event, so the batch keeps each cache line full of the field
+// being worked on instead of its neighbours' padding; at million-instance
+// bursts the difference is the working set fitting in cache at all. The
+// public Timeline view is materialized once, after the run, with values
+// identical to what the old array-of-structs code produced — the engine
+// differential suite holds both layouts to the same bytes.
+//
+// The batch lives inside the pooled runScratch, so burst-heavy paths (probe
+// fan-outs, planner sweeps) reuse the arrays instead of reallocating
+// per burst.
+type instanceBatch struct {
+	n int
+
+	// Fixed per-instance inputs, set before the run.
+	execs  []float64 // planned execution duration (jitter applied)
+	degree []int32   // functions resident in the instance
+	flags  []uint8   // warm / hedged / hedge-won bits
+
+	// Lifecycle milestones, written as the control plane progresses.
+	schedDone []float64
+	buildDone []float64
+	shipDone  []float64
+	start     []float64
+	end       []float64
+
+	// Fault-injection and hedging state.
+	retries       []int32
+	crashes       []int32
+	timeouts      []int32
+	straggled     []int32
+	failedSec     []float64
+	hedgeExtraSec []float64
+	prevDelay     []float64 // decorrelated-jitter backoff memory
+}
+
+const (
+	flagWarm = uint8(1) << iota
+	flagHedged
+	flagHedgeWon
+)
+
+// reset sizes every array for n instances and zeroes them.
+func (ib *instanceBatch) reset(n int) {
+	ib.n = n
+	ib.execs = grownZeroed(ib.execs, n)
+	ib.degree = grownZeroed(ib.degree, n)
+	ib.flags = grownZeroed(ib.flags, n)
+	ib.schedDone = grownZeroed(ib.schedDone, n)
+	ib.buildDone = grownZeroed(ib.buildDone, n)
+	ib.shipDone = grownZeroed(ib.shipDone, n)
+	ib.start = grownZeroed(ib.start, n)
+	ib.end = grownZeroed(ib.end, n)
+	ib.retries = grownZeroed(ib.retries, n)
+	ib.crashes = grownZeroed(ib.crashes, n)
+	ib.timeouts = grownZeroed(ib.timeouts, n)
+	ib.straggled = grownZeroed(ib.straggled, n)
+	ib.failedSec = grownZeroed(ib.failedSec, n)
+	ib.hedgeExtraSec = grownZeroed(ib.hedgeExtraSec, n)
+	ib.prevDelay = grownZeroed(ib.prevDelay, n)
+}
+
+func (ib *instanceBatch) warm(i int) bool { return ib.flags[i]&flagWarm != 0 }
+
+// allWarmBefore reports whether every instance in [lo, i) is warm, which
+// promotes i to pod leader (warm instances never build).
+func (ib *instanceBatch) allWarmBefore(lo, i int) bool {
+	for j := lo; j < i; j++ {
+		if ib.flags[j]&flagWarm == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// materialize converts the batch into the public per-instance Timeline view.
+// The slice is freshly allocated: it escapes into the Result while the batch
+// returns to the pool.
+func (ib *instanceBatch) materialize() []Timeline {
+	ts := make([]Timeline, ib.n)
+	for i := range ts {
+		ts[i] = Timeline{
+			Index:         i,
+			Degree:        int(ib.degree[i]),
+			Warm:          ib.flags[i]&flagWarm != 0,
+			Retries:       int(ib.retries[i]),
+			SchedDone:     ib.schedDone[i],
+			BuildDone:     ib.buildDone[i],
+			ShipDone:      ib.shipDone[i],
+			Start:         ib.start[i],
+			End:           ib.end[i],
+			Crashes:       int(ib.crashes[i]),
+			Timeouts:      int(ib.timeouts[i]),
+			Straggled:     int(ib.straggled[i]),
+			FailedSec:     ib.failedSec[i],
+			Hedged:        ib.flags[i]&flagHedged != 0,
+			HedgeWon:      ib.flags[i]&flagHedgeWon != 0,
+			HedgeExtraSec: ib.hedgeExtraSec[i],
+		}
+	}
+	return ts
+}
+
+// grownZeroed resizes s to length n, zeroing every element.
+func grownZeroed[T int32 | uint8 | float64](s []T, n int) []T {
+	if cap(s) < n {
+		return make([]T, n)
+	}
+	s = s[:n]
+	clear(s)
+	return s
+}

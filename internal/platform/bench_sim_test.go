@@ -1,0 +1,57 @@
+package platform
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// BenchmarkSim is the event-engine scaling curve recorded in BENCH_SIM.json:
+// one unpacked burst of C functions (C instances, the event-heaviest shape
+// per function) at C = 10³ … 10⁶, on the production wheel, the reference
+// heap, and the 8-cell sharded path. CI runs it at -benchtime=1x as a smoke
+// so the million-instance point cannot rot; the recorded curve comes from
+// dedicated -count runs.
+func BenchmarkSim(b *testing.B) {
+	cs := []int{1_000, 10_000, 100_000, 1_000_000}
+	burstAt := func(c int) Burst {
+		return Burst{Demand: workload.Video{}.Demand(), Functions: c, Degree: 1, Seed: 42}
+	}
+	cfg := AWSLambda()
+
+	for _, c := range cs {
+		b.Run(fmt.Sprintf("wheel/C=%d", c), func(b *testing.B) {
+			bb := burstAt(c)
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := Run(cfg, bb); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+	for _, c := range cs {
+		b.Run(fmt.Sprintf("heap/C=%d", c), func(b *testing.B) {
+			bb := burstAt(c)
+			b.ReportAllocs()
+			newEngine = sim.NewReferenceEngine
+			defer func() { newEngine = sim.NewEngine }()
+			for i := 0; i < b.N; i++ {
+				if _, err := Run(cfg, bb); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+	b.Run("sharded/C=1000000/shards=8", func(b *testing.B) {
+		bb := burstAt(1_000_000)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := RunSharded(cfg, bb, Sharding{Shards: 8}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

@@ -49,6 +49,13 @@ type Burst struct {
 	// Seed drives execution-time jitter.
 	Seed int64
 
+	// arrivalOffsetSec shifts every instance's arrival by a constant, in
+	// virtual seconds. Sharded runs use it so shard s's staggered arrivals
+	// begin at lo·StaggerSec — global arrival times are preserved even
+	// though the shard numbers its instances from zero. Always zero outside
+	// sharded runs.
+	arrivalOffsetSec float64
+
 	// Recorder receives event-level observability records (lifecycle stage
 	// spans, fault and hedge events). Nil disables observability at zero
 	// cost; see internal/obs.
@@ -189,8 +196,7 @@ func Run(cfg Config, b Burst) (*Result, error) {
 	rng := sim.Stream(b.Seed, hashName(cfg.Name))
 	sc := newRunScratch(n)
 	defer sc.release()
-	execs := sc.execs
-	timelines := make([]Timeline, n)
+	ib := &sc.batch
 	fullDeg := b.Degree
 	lastDeg := b.Functions - (n-1)*b.Degree
 	var fullBase float64
@@ -214,11 +220,14 @@ func Run(cfg Config, b Burst) (*Result, error) {
 		if i == n-1 {
 			base, d = lastBase, lastDeg
 		}
-		execs[i] = base * rng.Jitter(cfg.JitterRel)
-		timelines[i] = Timeline{Index: i, Degree: d, Warm: i < b.Warm}
+		ib.execs[i] = base * rng.Jitter(cfg.JitterRel)
+		ib.degree[i] = int32(d)
+		if i < b.Warm {
+			ib.flags[i] |= flagWarm
+		}
 	}
 
-	res, err := runControlPlane(cfg, b, timelines, execs, sc, rng)
+	res, err := runControlPlane(cfg, b, sc, rng)
 	if err != nil {
 		return nil, err
 	}
@@ -226,7 +235,7 @@ func Run(cfg Config, b Burst) (*Result, error) {
 	// descriptor instead of allocating one per instance.
 	group := []demandGroup{{d: b.Demand}}
 	res.bill(func(i int) []demandGroup {
-		group[0].n = timelines[i].Degree
+		group[0].n = res.Timelines[i].Degree
 		return group
 	})
 	return res, nil
@@ -248,25 +257,23 @@ type podState struct {
 	waiting   []int
 }
 
-// runScratch pools the per-burst working arrays that never escape into the
-// Result — execution durations, retry backoff state, pod bookkeeping — so
+// runScratch pools the per-burst working state that never escapes into the
+// Result — the struct-of-arrays instance batch and pod bookkeeping — so
 // burst-heavy paths (probe fan-outs, sweeps) stop paying an allocation per
 // array per burst. Everything handed out is fully reinitialized here;
 // nothing downstream may retain a reference past release.
 type runScratch struct {
-	execs     []float64
-	prevDelay []float64
-	pods      []podState
+	batch instanceBatch
+	pods  []podState
 }
 
 var runScratchPool = sync.Pool{New: func() any { return new(runScratch) }}
 
-// newRunScratch returns a scratch with execs and prevDelay sized and zeroed
-// for n instances.
+// newRunScratch returns a scratch whose batch is sized and zeroed for n
+// instances.
 func newRunScratch(n int) *runScratch {
 	sc := runScratchPool.Get().(*runScratch)
-	sc.execs = grownZeroed(sc.execs, n)
-	sc.prevDelay = grownZeroed(sc.prevDelay, n)
+	sc.batch.reset(n)
 	return sc
 }
 
@@ -286,25 +293,22 @@ func (sc *runScratch) podStates(n int) []podState {
 
 func (sc *runScratch) release() { runScratchPool.Put(sc) }
 
-// grownZeroed resizes s to length n, zeroing every element.
-func grownZeroed(s []float64, n int) []float64 {
-	if cap(s) < n {
-		return make([]float64, n)
-	}
-	s = s[:n]
-	for i := range s {
-		s[i] = 0
-	}
-	return s
-}
+// newEngine constructs the event engine behind every burst simulation. It
+// is a variable so the platform-level differential tests can swap in
+// sim.NewReferenceEngine and require byte-identical results from the heap
+// oracle; production always runs the wheel.
+var newEngine = sim.NewEngine
 
 // runControlPlane simulates scheduling, image build, shipping, boot, and
-// execution for a set of instances whose Degree/Warm fields and execution
-// durations are already fixed. It fills in the timelines and returns the
-// Result skeleton (no billing).
-func runControlPlane(cfg Config, b Burst, timelines []Timeline, execs []float64, sc *runScratch, rng *sim.RNG) (*Result, error) {
-	n := len(timelines)
-	eng := sim.NewEngine()
+// execution for a set of instances whose degree/warm state and execution
+// durations are already fixed in the scratch's instance batch. It fills in
+// the batch's lifecycle arrays, materializes them as timelines, and returns
+// the Result skeleton (no billing).
+func runControlPlane(cfg Config, b Burst, sc *runScratch, rng *sim.RNG) (*Result, error) {
+	ib := &sc.batch
+	n := ib.n
+	execs := ib.execs
+	eng := newEngine()
 	sched := sim.NewStation(eng, cfg.SchedServers)
 	buildSt := sim.NewStation(eng, cfg.BuildServers)
 	shipSt := sim.NewStation(eng, cfg.ShipServers)
@@ -339,7 +343,7 @@ func runControlPlane(cfg Config, b Burst, timelines []Timeline, execs []float64,
 	retryPol := cfg.retryPolicy()
 	// prevDelay feeds the decorrelated-jitter schedule; per instance so
 	// parallel retry chains stay independent.
-	prevDelay := sc.prevDelay
+	prevDelay := ib.prevDelay
 	// The hedge launch threshold is the configured quantile of the fleet's
 	// planned execution durations — known up front in the simulator, so the
 	// policy is deterministic.
@@ -389,7 +393,7 @@ func runControlPlane(cfg Config, b Burst, timelines []Timeline, execs []float64,
 	// failExec handles a crashed or timed-out attempt: retry within the
 	// policy's budget or fail the burst.
 	failExec := func(i int) {
-		retry := timelines[i].Crashes + timelines[i].Timeouts
+		retry := int(ib.crashes[i] + ib.timeouts[i])
 		if !retryPol.Allow(retry, eng.Now(), maxRetries) {
 			if burstErr == nil {
 				burstErr = fmt.Errorf("%w: instance %d after %d failed attempts",
@@ -401,11 +405,11 @@ func runControlPlane(cfg Config, b Burst, timelines []Timeline, execs []float64,
 		backoffThenResubmit(i, retry)
 	}
 	finish := func(i int) {
-		timelines[i].Start = eng.Now()
+		ib.start[i] = eng.Now()
 		dur := execs[i]
 		if cfg.StragglerProb > 0 && rng.Float64() < cfg.StragglerProb {
 			dur *= cfg.StragglerFactor
-			timelines[i].Straggled++
+			ib.straggled[i]++
 			if rec != nil {
 				rec.Event(obs.Event{Instance: i, Kind: obs.EventStraggle, AtSec: eng.Now(), DurSec: dur})
 			}
@@ -422,8 +426,8 @@ func runControlPlane(cfg Config, b Burst, timelines []Timeline, execs []float64,
 		}
 		if crashAt < dur && crashAt <= timeoutAt {
 			eng.After(crashAt, func() {
-				timelines[i].Crashes++
-				timelines[i].FailedSec += crashAt
+				ib.crashes[i]++
+				ib.failedSec[i] += crashAt
 				if rec != nil {
 					rec.Event(obs.Event{Instance: i, Kind: obs.EventCrash, AtSec: eng.Now(), DurSec: crashAt})
 				}
@@ -433,8 +437,8 @@ func runControlPlane(cfg Config, b Burst, timelines []Timeline, execs []float64,
 		}
 		if timeoutAt < dur {
 			eng.After(timeoutAt, func() {
-				timelines[i].Timeouts++
-				timelines[i].FailedSec += timeoutAt
+				ib.timeouts[i]++
+				ib.failedSec[i] += timeoutAt
 				if rec != nil {
 					rec.Event(obs.Event{Instance: i, Kind: obs.EventTimeout, AtSec: eng.Now(), DurSec: timeoutAt})
 				}
@@ -450,29 +454,29 @@ func runControlPlane(cfg Config, b Burst, timelines []Timeline, execs []float64,
 		end := dur
 		if dur > hedgeThr {
 			hedgeDur := execs[i] * rng.Jitter(cfg.JitterRel)
-			timelines[i].Hedged = true
+			ib.flags[i] |= flagHedged
 			if hedgeThr+hedgeDur < dur {
-				timelines[i].HedgeWon = true
-				timelines[i].HedgeExtraSec = hedgeDur
+				ib.flags[i] |= flagHedgeWon
+				ib.hedgeExtraSec[i] = hedgeDur
 				end = hedgeThr + hedgeDur
 			} else {
-				timelines[i].HedgeExtraSec = dur - hedgeThr
+				ib.hedgeExtraSec[i] = dur - hedgeThr
 			}
 			if rec != nil {
 				rec.Event(obs.Event{Instance: i, Kind: obs.EventHedgeLaunch, AtSec: eng.Now() + hedgeThr})
 			}
 		}
 		eng.After(end, func() {
-			timelines[i].End = eng.Now()
-			if rec != nil && timelines[i].Hedged {
+			ib.end[i] = eng.Now()
+			if rec != nil && ib.flags[i]&flagHedged != 0 {
 				kind := obs.EventHedgeWaste
-				if timelines[i].HedgeWon {
+				if ib.flags[i]&flagHedgeWon != 0 {
 					kind = obs.EventHedgeWin
 				}
-				rec.Event(obs.Event{Instance: i, Kind: kind, AtSec: eng.Now(), DurSec: timelines[i].HedgeExtraSec})
+				rec.Event(obs.Event{Instance: i, Kind: kind, AtSec: eng.Now(), DurSec: ib.hedgeExtraSec[i]})
 				rec.Span(obs.Span{
 					Instance: i, Stage: obs.StageHedge,
-					StartSec: timelines[i].Start + hedgeThr, EndSec: eng.Now(),
+					StartSec: ib.start[i] + hedgeThr, EndSec: eng.Now(),
 				})
 			}
 			release()
@@ -483,19 +487,19 @@ func runControlPlane(cfg Config, b Burst, timelines []Timeline, execs []float64,
 			if cfg.StartFailureProb > 0 && rng.Float64() < cfg.StartFailureProb {
 				// Cold start failed: back off and re-enter the scheduler
 				// (the admission slot stays held through retries).
-				timelines[i].Retries++
+				ib.retries[i]++
 				if rec != nil {
 					rec.Event(obs.Event{Instance: i, Kind: obs.EventStartRetry, AtSec: eng.Now()})
 				}
-				if !retryPol.Allow(timelines[i].Retries, eng.Now(), maxRetries) {
+				if !retryPol.Allow(int(ib.retries[i]), eng.Now(), maxRetries) {
 					if burstErr == nil {
 						burstErr = fmt.Errorf("%w: instance %d after %d attempts",
-							ErrStartFailed, i, timelines[i].Retries)
+							ErrStartFailed, i, ib.retries[i])
 					}
 					release()
 					return
 				}
-				backoffThenResubmit(i, timelines[i].Retries)
+				backoffThenResubmit(i, int(ib.retries[i]))
 				return
 			}
 			finish(i)
@@ -508,8 +512,8 @@ func runControlPlane(cfg Config, b Burst, timelines []Timeline, execs []float64,
 		pods[p].shipped = true
 		pods[p].shippedAt = eng.Now()
 		for _, w := range pods[p].waiting {
-			timelines[w].BuildDone = pods[p].shippedAt
-			timelines[w].ShipDone = pods[p].shippedAt
+			ib.buildDone[w] = pods[p].shippedAt
+			ib.shipDone[w] = pods[p].shippedAt
 			boot(w)
 		}
 		pods[p].waiting = pods[p].waiting[:0]
@@ -524,18 +528,18 @@ func runControlPlane(cfg Config, b Burst, timelines []Timeline, execs []float64,
 				return cfg.SchedBaseSec + cfg.SchedPerBusySec*float64(sched.Served)
 			},
 			func(_, end float64) {
-				timelines[i].SchedDone = end
-				if timelines[i].Warm {
-					timelines[i].BuildDone = end
-					timelines[i].ShipDone = end
+				ib.schedDone[i] = end
+				if ib.warm(i) {
+					ib.buildDone[i] = end
+					ib.shipDone[i] = end
 					warmStart(i)
 					return
 				}
 				p := i / podSize
-				leader := p*podSize == i || allWarmBefore(timelines, p*podSize, i)
+				leader := p*podSize == i || ib.allWarmBefore(p*podSize, i)
 				if pods[p].shipped {
-					timelines[i].BuildDone = pods[p].shippedAt
-					timelines[i].ShipDone = pods[p].shippedAt
+					ib.buildDone[i] = pods[p].shippedAt
+					ib.shipDone[i] = pods[p].shippedAt
 					boot(i)
 					return
 				}
@@ -548,13 +552,13 @@ func runControlPlane(cfg Config, b Burst, timelines []Timeline, execs []float64,
 						return cfg.BuildSec + cfg.BuildGrowthSec*float64(buildSt.Served)
 					},
 					func(_, buildEnd float64) {
-						timelines[i].BuildDone = buildEnd
+						ib.buildDone[i] = buildEnd
 						shipSt.Submit(
 							func() float64 {
 								return cfg.ShipSec + cfg.ShipGrowthSec*float64(shipSt.Served)
 							},
 							func(_, shipEnd float64) {
-								timelines[i].ShipDone = shipEnd
+								ib.shipDone[i] = shipEnd
 								boot(i)
 								podShipped(p)
 							})
@@ -568,8 +572,8 @@ func runControlPlane(cfg Config, b Burst, timelines []Timeline, execs []float64,
 	// "scheduling algorithm needs to search and find more places" effect.
 	for i := 0; i < n; i++ {
 		i := i
-		if b.StaggerSec > 0 {
-			eng.At(float64(i)*b.StaggerSec, func() { admit(i) })
+		if b.StaggerSec > 0 || b.arrivalOffsetSec > 0 {
+			eng.At(b.arrivalOffsetSec+float64(i)*b.StaggerSec, func() { admit(i) })
 		} else {
 			admit(i)
 		}
@@ -579,6 +583,7 @@ func runControlPlane(cfg Config, b Burst, timelines []Timeline, execs []float64,
 		return nil, burstErr
 	}
 
+	timelines := ib.materialize()
 	res := &Result{
 		Config:       cfg,
 		Burst:        b,
@@ -602,17 +607,6 @@ func runControlPlane(cfg Config, b Burst, timelines []Timeline, execs []float64,
 		emitLifecycleSpans(rec, timelines, arrive, admitted)
 	}
 	return res, nil
-}
-
-// allWarmBefore reports whether every instance in [lo, i) is warm, which
-// promotes i to pod leader (warm instances never build).
-func allWarmBefore(ts []Timeline, lo, i int) bool {
-	for j := lo; j < i; j++ {
-		if !ts[j].Warm {
-			return false
-		}
-	}
-	return true
 }
 
 // bill computes the burst's expense: compute GB·seconds, per-request fees,

@@ -34,6 +34,10 @@ type MixedBurst struct {
 	// Seed drives execution-time jitter.
 	Seed int64
 
+	// arrivalOffsetSec shifts every instance's arrival by a constant; see
+	// Burst.arrivalOffsetSec. Set only by sharded runs.
+	arrivalOffsetSec float64
+
 	// Recorder receives event-level observability records; nil disables
 	// observability at zero cost (see internal/obs).
 	Recorder obs.Recorder
@@ -91,8 +95,7 @@ func RunMixed(cfg Config, m MixedBurst) (*Result, error) {
 	rng := sim.Stream(m.Seed, hashName(cfg.Name)^0x6d69786564) // "mixed"
 	sc := newRunScratch(n)
 	defer sc.release()
-	execs := sc.execs
-	timelines := make([]Timeline, n)
+	ib := &sc.batch
 
 	// Per-bin preparation — the interference model over the bin's demand mix
 	// and the same-demand billing groups — is a pure function of the bin, so
@@ -130,16 +133,20 @@ func RunMixed(cfg Config, m MixedBurst) (*Result, error) {
 			return nil, fmt.Errorf("%w: bin %d needs %.1fs > %.0fs on %s",
 				ErrExecLimit, i, preps[i].base, cfg.MaxExecSec, cfg.Name)
 		}
-		execs[i] = preps[i].base * rng.Jitter(cfg.JitterRel)
-		timelines[i] = Timeline{Index: i, Degree: bin.Degree(), Warm: i < m.Warm}
+		ib.execs[i] = preps[i].base * rng.Jitter(cfg.JitterRel)
+		ib.degree[i] = int32(bin.Degree())
+		if i < m.Warm {
+			ib.flags[i] |= flagWarm
+		}
 	}
 
 	pseudo := Burst{
 		Functions: m.Functions(), Degree: 0, Warm: m.Warm,
 		StaggerSec: m.StaggerSec, Seed: m.Seed,
-		Recorder: m.Recorder, Label: m.Label,
+		arrivalOffsetSec: m.arrivalOffsetSec,
+		Recorder:         m.Recorder, Label: m.Label,
 	}
-	res, err := runControlPlane(cfg, pseudo, timelines, execs, sc, rng)
+	res, err := runControlPlane(cfg, pseudo, sc, rng)
 	if err != nil {
 		return nil, err
 	}

@@ -1,6 +1,7 @@
 package platform
 
 import (
+	"bytes"
 	"reflect"
 	"testing"
 
@@ -100,6 +101,123 @@ func TestConcurrentMixedBurstLimitError(t *testing.T) {
 		if err.Error() != wantErr {
 			t.Fatalf("workers=%d: error %q, want %q", workers, err.Error(), wantErr)
 		}
+	}
+}
+
+// TestShardedBurstWorkerEquivalence locks in the sharded determinism
+// contract on homogeneous bursts: for each shard count in {1, 2, 4, 8}, the
+// merged Result — timelines, billing, fault counters — and the replayed
+// JSONL trace must be byte-identical for every worker count, with Workers=1
+// as the sequential oracle. At Shards=1 the run must additionally be
+// byte-identical to the plain single-cell Run.
+func TestShardedBurstWorkerEquivalence(t *testing.T) {
+	cfg := crashyConfig(0.0008)
+	cfg.StartFailureProb = 0.04
+	cfg.StragglerProb = 0.05
+	cfg.StragglerFactor = 2.5
+	cfg.Hedge.Quantile = 95
+	base := Burst{
+		Demand:     workload.Video{}.Demand(),
+		Functions:  600,
+		Degree:     7,
+		Warm:       5,
+		StaggerSec: 0.002,
+		Seed:       90210,
+		Label:      "shard-equiv",
+	}
+
+	runAt := func(shards, workers int) (*Result, []byte) {
+		var buf bytes.Buffer
+		b := base
+		b.Recorder = obs.NewJSONL(&buf)
+		res, err := RunSharded(cfg, b, Sharding{Shards: shards, Workers: workers})
+		if err != nil {
+			t.Fatalf("shards=%d workers=%d: %v", shards, workers, err)
+		}
+		return normalize(res), buf.Bytes()
+	}
+
+	for _, shards := range []int{1, 2, 4, 8} {
+		want, wantTrace := runAt(shards, 1)
+		for _, workers := range []int{0, 2, 8} {
+			got, trace := runAt(shards, workers)
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("shards=%d workers=%d: Result differs from sequential shard run", shards, workers)
+			}
+			if !bytes.Equal(trace, wantTrace) {
+				t.Fatalf("shards=%d workers=%d: JSONL trace differs from sequential shard run", shards, workers)
+			}
+		}
+		if want.Crashes+want.Timeouts+want.StartRetries == 0 {
+			t.Fatalf("shards=%d: fault injection produced no faults — the sweep is not exercising fault counters", shards)
+		}
+	}
+
+	// Shards=1 is the single-cell simulation, bit for bit.
+	var buf bytes.Buffer
+	b := base
+	b.Recorder = obs.NewJSONL(&buf)
+	plain, err := Run(cfg, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oneShard, oneTrace := runAt(1, 4)
+	if !reflect.DeepEqual(oneShard, normalize(plain)) {
+		t.Fatal("Shards=1 result differs from plain Run")
+	}
+	if !bytes.Equal(oneTrace, buf.Bytes()) {
+		t.Fatal("Shards=1 JSONL trace differs from plain Run")
+	}
+}
+
+// TestShardedMixedWorkerEquivalence is the heterogeneous twin: RunMixedSharded
+// must be byte-identical across worker counts at each shard count, and equal
+// to RunMixed at Shards=1.
+func TestShardedMixedWorkerEquivalence(t *testing.T) {
+	cfg := crashyConfig(0.0005)
+	cfg.StragglerProb = 0.04
+	cfg.StragglerFactor = 3
+	cfg.Hedge.Quantile = 90
+	bins := mixedEquivBins()
+	base := MixedBurst{Bins: bins, Warm: 4, Seed: 4711, Label: "shard-mixed"}
+
+	runAt := func(shards, workers int) (*Result, []byte) {
+		var buf bytes.Buffer
+		m := base
+		m.Recorder = obs.NewJSONL(&buf)
+		res, err := RunMixedSharded(cfg, m, Sharding{Shards: shards, Workers: workers})
+		if err != nil {
+			t.Fatalf("shards=%d workers=%d: %v", shards, workers, err)
+		}
+		return normalize(res), buf.Bytes()
+	}
+
+	for _, shards := range []int{1, 2, 4, 8} {
+		want, wantTrace := runAt(shards, 1)
+		for _, workers := range []int{0, 3, 16} {
+			got, trace := runAt(shards, workers)
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("shards=%d workers=%d: Result differs from sequential shard run", shards, workers)
+			}
+			if !bytes.Equal(trace, wantTrace) {
+				t.Fatalf("shards=%d workers=%d: JSONL trace differs from sequential shard run", shards, workers)
+			}
+		}
+	}
+
+	var buf bytes.Buffer
+	m := base
+	m.Recorder = obs.NewJSONL(&buf)
+	plain, err := RunMixed(cfg, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oneShard, oneTrace := runAt(1, 2)
+	if !reflect.DeepEqual(oneShard, normalize(plain)) {
+		t.Fatal("Shards=1 result differs from plain RunMixed")
+	}
+	if !bytes.Equal(oneTrace, buf.Bytes()) {
+		t.Fatal("Shards=1 JSONL trace differs from plain RunMixed")
 	}
 }
 

@@ -7,123 +7,127 @@
 //
 // Time is a float64 in seconds of virtual time. Event ordering is total:
 // ties on time break on insertion sequence, so runs are reproducible.
+//
+// Two schedulers implement that order. The production one (NewEngine) is a
+// calendar-queue / timing-wheel hybrid with O(1) amortized schedule and
+// dispatch, sized for million-instance bursts; the original binary heap is
+// retained behind NewReferenceEngine as the differential-testing oracle the
+// wheel is property- and fuzz-tested against (see DESIGN §15).
 package sim
 
 import (
-	"container/heap"
 	"fmt"
+	"math"
 )
 
-// Event is a scheduled callback in virtual time.
+// event is a scheduled callback in virtual time.
 type event struct {
 	at  float64
 	seq uint64
 	fn  func()
 }
 
-type eventHeap []*event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
-	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
-func (h *eventHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
-	return e
+// eventQueue is the pending-event structure behind an Engine. Both
+// implementations — the calendar-queue wheel (wheelQueue, the fast path)
+// and the retained binary heap (heapQueue, the test oracle) — dispatch in
+// exactly the same total order: time, then insertion sequence.
+type eventQueue interface {
+	push(ev event)
+	// peekAt reports the dispatch time of the earliest pending event
+	// without removing it.
+	peekAt() (float64, bool)
+	// pop removes and returns the earliest pending event. It must only be
+	// called when len() > 0.
+	pop() event
+	len() int
 }
 
-// Engine owns the virtual clock and the pending-event heap. The zero value
-// is not ready; use NewEngine.
+// Engine owns the virtual clock and the pending-event queue. The zero value
+// is not ready; use NewEngine (or NewReferenceEngine for the heap oracle).
 type Engine struct {
-	now    float64
-	seq    uint64
-	events eventHeap
-	// free recycles dispatched events so a burst of N instances costs O(1)
-	// event allocations in steady state instead of one per scheduled
-	// callback. Events are engine-local, so no synchronization is needed.
-	free []*event
+	now float64
+	seq uint64
+	q   eventQueue
 }
 
-// NewEngine returns an engine with the clock at time zero.
+// NewEngine returns an engine with the clock at time zero, backed by the
+// calendar-queue scheduler.
 func NewEngine() *Engine {
-	e := &Engine{}
-	heap.Init(&e.events)
-	return e
+	return &Engine{q: newWheelQueue()}
+}
+
+// NewReferenceEngine returns an engine backed by the original container/heap
+// scheduler. It dispatches in exactly the same order as NewEngine and exists
+// as the oracle for the differential test harness: every behavioural
+// property of the wheel is checked by running the same schedule on both and
+// requiring identical traces.
+func NewReferenceEngine() *Engine {
+	return &Engine{q: &heapQueue{}}
 }
 
 // Now returns the current virtual time in seconds.
 func (e *Engine) Now() float64 { return e.now }
 
-// At schedules fn to run at absolute virtual time t. Scheduling in the past
-// panics — it would silently corrupt causality.
+// At schedules fn to run at absolute virtual time t. Scheduling at a
+// non-finite time (NaN, ±Inf) or in the past panics — silently accepting
+// either would corrupt the queue's ordering invariants or causality. (NaN
+// compares false against everything, so before this check existed a NaN
+// timestamp would sit in the heap violating its invariant and scramble the
+// dispatch order of innocent neighbours.)
 func (e *Engine) At(t float64, fn func()) {
+	if math.IsNaN(t) || math.IsInf(t, 0) {
+		panic(fmt.Sprintf("sim: scheduling event at non-finite time %g", t))
+	}
 	if t < e.now {
 		panic(fmt.Sprintf("sim: scheduling event at %g before now %g", t, e.now))
 	}
 	e.seq++
-	var ev *event
-	if n := len(e.free); n > 0 {
-		ev = e.free[n-1]
-		e.free = e.free[:n-1]
-		ev.at, ev.seq, ev.fn = t, e.seq, fn
-	} else {
-		ev = &event{at: t, seq: e.seq, fn: fn}
-	}
-	heap.Push(&e.events, ev)
+	e.q.push(event{at: t, seq: e.seq, fn: fn})
 }
 
-// After schedules fn to run d seconds of virtual time from now. Negative
-// delays panic.
+// After schedules fn to run d seconds of virtual time from now. Negative or
+// non-finite delays panic.
 func (e *Engine) After(d float64, fn func()) {
 	if d < 0 {
 		panic(fmt.Sprintf("sim: negative delay %g", d))
+	}
+	if math.IsNaN(d) {
+		panic("sim: non-finite delay NaN")
 	}
 	e.At(e.now+d, fn)
 }
 
 // Pending reports the number of events not yet dispatched.
-func (e *Engine) Pending() int { return e.events.Len() }
+func (e *Engine) Pending() int { return e.q.len() }
 
 // Run dispatches events in time order until none remain, returning the final
 // virtual time.
 func (e *Engine) Run() float64 {
-	for e.events.Len() > 0 {
-		ev := heap.Pop(&e.events).(*event)
+	for e.q.len() > 0 {
+		ev := e.q.pop()
 		e.now = ev.at
-		fn := ev.fn
-		e.recycle(ev)
-		fn()
+		ev.fn()
 	}
 	return e.now
 }
 
 // RunUntil dispatches events with time ≤ deadline, then advances the clock
-// to the deadline. Events scheduled beyond it stay pending.
+// to the deadline. Events scheduled beyond it stay pending. An event exactly
+// at the deadline fires. A NaN deadline panics.
 func (e *Engine) RunUntil(deadline float64) {
-	for e.events.Len() > 0 && e.events[0].at <= deadline {
-		ev := heap.Pop(&e.events).(*event)
+	if math.IsNaN(deadline) {
+		panic("sim: non-finite RunUntil deadline NaN")
+	}
+	for {
+		at, ok := e.q.peekAt()
+		if !ok || at > deadline {
+			break
+		}
+		ev := e.q.pop()
 		e.now = ev.at
-		fn := ev.fn
-		e.recycle(ev)
-		fn()
+		ev.fn()
 	}
 	if deadline > e.now {
 		e.now = deadline
 	}
-}
-
-// recycle returns a dispatched event to the freelist, dropping its callback
-// reference so the closure (and anything it captures) can be collected.
-func (e *Engine) recycle(ev *event) {
-	ev.fn = nil
-	e.free = append(e.free, ev)
 }

@@ -1,0 +1,175 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// The differential harness: the wheel engine must dispatch byte-for-byte in
+// the reference heap's order on any schedule. A schedule is a deterministic
+// program driven by a seeded RNG — a mix of up-front events, nested
+// rescheduling from inside callbacks, zero delays, far-future outliers (the
+// overflow path), and partial RunUntil drains — executed against both
+// engines, recording every dispatch as (id, now, pending-after).
+
+// traceEntry is one dispatched event as observed by the harness.
+type traceEntry struct {
+	id      int
+	now     float64
+	pending int
+}
+
+// scheduleProgram runs a randomized schedule on eng and returns the
+// dispatch trace. All randomness comes from rng, so running it twice with
+// equal-seeded RNGs yields the same program on both engines.
+func scheduleProgram(eng *Engine, rng *rand.Rand, ops int) []traceEntry {
+	var trace []traceEntry
+	nextID := 0
+	var schedule func(depth int)
+	schedule = func(depth int) {
+		id := nextID
+		nextID++
+		// Delay scale spans seven orders of magnitude so schedules cross
+		// bucket, year, and overflow boundaries.
+		var d float64
+		switch rng.Intn(10) {
+		case 0:
+			d = 0 // same-timestamp FIFO and zero-delay self-rescheduling
+		case 1, 2:
+			d = rng.Float64() * 1e-4
+		case 3, 4, 5, 6:
+			d = rng.Float64()
+		case 7, 8:
+			d = rng.Float64() * 1e3
+		default:
+			d = rng.Float64() * 1e7 // far future: the overflow bucket
+		}
+		respawn := depth < 3 && rng.Intn(3) == 0
+		eng.After(d, func() {
+			trace = append(trace, traceEntry{id: id, now: eng.Now(), pending: eng.Pending()})
+			if respawn {
+				schedule(depth + 1)
+			}
+		})
+	}
+	for i := 0; i < ops; i++ {
+		schedule(0)
+		// Occasionally drain partway, exercising peek/RunUntil interleaved
+		// with fresh scheduling.
+		if rng.Intn(8) == 0 {
+			eng.RunUntil(eng.Now() + rng.Float64()*10)
+		}
+	}
+	eng.Run()
+	return trace
+}
+
+// TestEngineDifferentialSchedules locks the wheel to the heap over many
+// randomized schedules: identical dispatch traces (ids, clocks, pending
+// counts) and identical final state.
+func TestEngineDifferentialSchedules(t *testing.T) {
+	for seed := int64(1); seed <= 60; seed++ {
+		wheel := NewEngine()
+		ref := NewReferenceEngine()
+		wantTrace := scheduleProgram(ref, rand.New(rand.NewSource(seed)), 120)
+		gotTrace := scheduleProgram(wheel, rand.New(rand.NewSource(seed)), 120)
+		if len(gotTrace) != len(wantTrace) {
+			t.Fatalf("seed %d: wheel dispatched %d events, heap %d", seed, len(gotTrace), len(wantTrace))
+		}
+		for i := range gotTrace {
+			if gotTrace[i] != wantTrace[i] {
+				t.Fatalf("seed %d: dispatch %d differs: wheel %+v, heap %+v",
+					seed, i, gotTrace[i], wantTrace[i])
+			}
+		}
+		if wheel.Now() != ref.Now() || wheel.Pending() != ref.Pending() {
+			t.Fatalf("seed %d: final state differs: wheel (now=%g pending=%d), heap (now=%g pending=%d)",
+				seed, wheel.Now(), wheel.Pending(), ref.Now(), ref.Pending())
+		}
+	}
+}
+
+// TestEngineDifferentialLockstep drives both engines one dispatch at a time
+// through RunUntil(peek boundary) style stepping, comparing clocks and
+// pending counts after every single event — a sharper oracle than whole-run
+// trace equality when hunting a divergence.
+func TestEngineDifferentialLockstep(t *testing.T) {
+	for seed := int64(1); seed <= 20; seed++ {
+		wheel, ref := NewEngine(), NewReferenceEngine()
+		rw, rr := rand.New(rand.NewSource(seed)), rand.New(rand.NewSource(seed))
+		var wTrace, rTrace []traceEntry
+		load := func(eng *Engine, rng *rand.Rand, trace *[]traceEntry) {
+			for i := 0; i < 200; i++ {
+				id := i
+				d := rng.Float64() * math.Pow(10, float64(rng.Intn(7))-3)
+				if rng.Intn(5) == 0 {
+					d = 0
+				}
+				eng.After(d, func() {
+					*trace = append(*trace, traceEntry{id: id, now: eng.Now(), pending: eng.Pending()})
+				})
+			}
+		}
+		load(wheel, rw, &wTrace)
+		load(ref, rr, &rTrace)
+		for step := 0; ; step++ {
+			wAt, wOK := wheel.q.peekAt()
+			rAt, rOK := ref.q.peekAt()
+			if wOK != rOK || (wOK && wAt != rAt) {
+				t.Fatalf("seed %d step %d: peek differs: wheel (%g,%v) heap (%g,%v)",
+					seed, step, wAt, wOK, rAt, rOK)
+			}
+			if !wOK {
+				break
+			}
+			wheel.RunUntil(wAt)
+			ref.RunUntil(rAt)
+			if len(wTrace) != len(rTrace) {
+				t.Fatalf("seed %d step %d: trace lengths diverged (%d vs %d)", seed, step, len(wTrace), len(rTrace))
+			}
+			for i := range wTrace {
+				if wTrace[i] != rTrace[i] {
+					t.Fatalf("seed %d step %d: entry %d: wheel %+v heap %+v", seed, step, i, wTrace[i], rTrace[i])
+				}
+			}
+		}
+	}
+}
+
+// TestEngineDifferentialStations runs a contended multi-station workload —
+// the platform simulator's exact usage pattern — on both engines and
+// requires identical completion traces.
+func TestEngineDifferentialStations(t *testing.T) {
+	run := func(eng *Engine) []string {
+		var out []string
+		sched := NewStation(eng, 2)
+		build := NewStation(eng, 3)
+		rng := NewRNG(99)
+		for i := 0; i < 300; i++ {
+			i := i
+			sched.Submit(
+				func() float64 { return 0.1 + 1e-4*float64(sched.Served) },
+				func(start, end float64) {
+					build.Submit(
+						func() float64 { return 2 + rng.Float64() },
+						func(bs, be float64) {
+							out = append(out, fmt.Sprintf("%d:%.9f:%.9f:%.9f", i, end, bs, be))
+						})
+				})
+		}
+		eng.Run()
+		return out
+	}
+	want := run(NewReferenceEngine())
+	got := run(NewEngine())
+	if len(got) != len(want) {
+		t.Fatalf("wheel completed %d jobs, heap %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("completion %d differs:\nwheel %s\nheap  %s", i, got[i], want[i])
+		}
+	}
+}

@@ -1,0 +1,217 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"testing"
+)
+
+// engineImpls enumerates both schedulers so every edge-case test runs against
+// the production wheel and the reference heap: the contract is the engine's,
+// not one implementation's.
+var engineImpls = []struct {
+	name string
+	mk   func() *Engine
+}{
+	{"wheel", NewEngine},
+	{"heap", NewReferenceEngine},
+}
+
+// TestEngineZeroDelaySelfRescheduling pins the semantics of an event that
+// reschedules itself with zero delay: the clock must not move, and each link
+// of the chain dispatches after everything already pending at that instant
+// (its seq is higher), so an interleaved same-time event fires between links.
+func TestEngineZeroDelaySelfRescheduling(t *testing.T) {
+	for _, impl := range engineImpls {
+		t.Run(impl.name, func(t *testing.T) {
+			eng := impl.mk()
+			var order []string
+			const links = 50
+			var chain func(k int)
+			chain = func(k int) {
+				eng.After(0, func() {
+					order = append(order, fmt.Sprintf("chain%d@%g", k, eng.Now()))
+					if k == 0 {
+						// Scheduled from inside link 0, same timestamp: must
+						// run before link 1, which is scheduled after it.
+						eng.After(0, func() {
+							order = append(order, "interleaved")
+						})
+					}
+					if k+1 < links {
+						chain(k + 1)
+					}
+				})
+			}
+			eng.At(1, func() { chain(0) })
+			end := eng.Run()
+			if end != 1 {
+				t.Fatalf("zero-delay chain moved the clock to %g", end)
+			}
+			if len(order) != links+1 {
+				t.Fatalf("dispatched %d events, want %d", len(order), links+1)
+			}
+			if order[0] != "chain0@1" || order[1] != "interleaved" || order[2] != "chain1@1" {
+				t.Fatalf("zero-delay ordering broke FIFO-at-equal-time: %v", order[:3])
+			}
+			for k := 1; k < links; k++ {
+				if order[k+1] != fmt.Sprintf("chain%d@1", k) {
+					t.Fatalf("link %d out of order: %v", k, order[k+1])
+				}
+			}
+		})
+	}
+}
+
+// TestEngineRunUntilExactTimestamp pins the boundary rule: an event exactly
+// at the deadline fires, one an ulp later stays pending, and the clock lands
+// exactly on the deadline either way.
+func TestEngineRunUntilExactTimestamp(t *testing.T) {
+	for _, impl := range engineImpls {
+		t.Run(impl.name, func(t *testing.T) {
+			eng := impl.mk()
+			const deadline = 3.7
+			after := math.Nextafter(deadline, math.Inf(1))
+			var fired []float64
+			eng.At(deadline, func() { fired = append(fired, eng.Now()) })
+			eng.At(after, func() { fired = append(fired, eng.Now()) })
+			eng.RunUntil(deadline)
+			if len(fired) != 1 || fired[0] != deadline {
+				t.Fatalf("events at deadline: fired %v, want exactly [%g]", fired, deadline)
+			}
+			if eng.Now() != deadline || eng.Pending() != 1 {
+				t.Fatalf("after RunUntil: now=%g pending=%d", eng.Now(), eng.Pending())
+			}
+			// A second drain to the same deadline is a no-op.
+			eng.RunUntil(deadline)
+			if len(fired) != 1 || eng.Now() != deadline {
+				t.Fatalf("repeated RunUntil re-fired or moved the clock: fired=%v now=%g", fired, eng.Now())
+			}
+			eng.Run()
+			if len(fired) != 2 || fired[1] != after {
+				t.Fatalf("ulp-later event mishandled: fired %v", fired)
+			}
+		})
+	}
+}
+
+// TestEngineRejectsBadTimestamps is the table of scheduling inputs the engine
+// must refuse loudly — each panics with a message naming the offense, on both
+// implementations. Silently accepting any of them would corrupt queue
+// ordering (NaN compares false with everything) or causality (the past).
+func TestEngineRejectsBadTimestamps(t *testing.T) {
+	cases := []struct {
+		name    string
+		wantMsg string
+		call    func(eng *Engine)
+	}{
+		{"At NaN", "non-finite time", func(e *Engine) { e.At(math.NaN(), func() {}) }},
+		{"At +Inf", "non-finite time", func(e *Engine) { e.At(math.Inf(1), func() {}) }},
+		{"At -Inf", "non-finite time", func(e *Engine) { e.At(math.Inf(-1), func() {}) }},
+		{"At past", "before now", func(e *Engine) {
+			e.RunUntil(5)
+			e.At(4.999, func() {})
+		}},
+		{"After negative", "negative delay", func(e *Engine) { e.After(-0.001, func() {}) }},
+		{"After NaN", "non-finite delay", func(e *Engine) { e.After(math.NaN(), func() {}) }},
+		{"RunUntil NaN", "non-finite RunUntil deadline", func(e *Engine) { e.RunUntil(math.NaN()) }},
+	}
+	for _, impl := range engineImpls {
+		for _, tc := range cases {
+			t.Run(impl.name+"/"+tc.name, func(t *testing.T) {
+				defer func() {
+					r := recover()
+					if r == nil {
+						t.Fatalf("%s did not panic", tc.name)
+					}
+					msg := fmt.Sprint(r)
+					if !strings.Contains(msg, tc.wantMsg) {
+						t.Fatalf("%s panicked with %q, want a message containing %q", tc.name, msg, tc.wantMsg)
+					}
+				}()
+				tc.call(impl.mk())
+			})
+		}
+	}
+}
+
+// TestEngineSlotReuseDoesNotResurrect exercises the recycled-slot paths (the
+// heap's freelist, the wheel's compacted ready run) across generations of
+// schedule/drain cycles: every callback fires exactly once, and no recycled
+// slot replays an already-dispatched callback.
+func TestEngineSlotReuseDoesNotResurrect(t *testing.T) {
+	for _, impl := range engineImpls {
+		t.Run(impl.name, func(t *testing.T) {
+			eng := impl.mk()
+			const perGen, gens = 300, 5
+			counts := make(map[int]int)
+			id := 0
+			for g := 0; g < gens; g++ {
+				for i := 0; i < perGen; i++ {
+					id++
+					ev := id
+					eng.After(float64(i)*1e-3, func() { counts[ev]++ })
+				}
+				// Drain halfway through the generation, then fully: partial
+				// drains force slot recycling while events are still pending.
+				eng.RunUntil(eng.Now() + float64(perGen)/2*1e-3)
+				eng.Run()
+			}
+			if eng.Pending() != 0 {
+				t.Fatalf("%d events still pending after drain", eng.Pending())
+			}
+			if len(counts) != perGen*gens {
+				t.Fatalf("%d distinct callbacks fired, want %d", len(counts), perGen*gens)
+			}
+			for ev, n := range counts {
+				if n != 1 {
+					t.Fatalf("callback %d fired %d times — a recycled slot resurrected it", ev, n)
+				}
+			}
+		})
+	}
+}
+
+// TestWheelOverflowMigration is the regression test for the overflow-bucket
+// ordering bug: an event beyond the ring's horizon at push time spills to
+// overflow, and the frontier — advanced past it by a dense chain that never
+// lets the ring drain — must migrate it into the dispatch run on time rather
+// than strand it until a rebuild. The buggy wheel dispatched the whole chain
+// first and the overflow event last.
+func TestWheelOverflowMigration(t *testing.T) {
+	run := func(eng *Engine) []float64 {
+		var order []float64
+		note := func() { order = append(order, eng.Now()) }
+		// Far beyond the fresh wheel's horizon (256 buckets × 1 ms ≈ 0.25 s).
+		eng.At(2.1005, note)
+		// Dense self-rescheduling chain: the ring always holds the next link,
+		// so the frontier walks bucket by bucket past 2.1005 without ever
+		// draining (which would have rescued the overflow event via rebuild).
+		var chain func()
+		chain = func() {
+			note()
+			if eng.Now() < 3.0 {
+				eng.After(0.01, chain)
+			}
+		}
+		eng.After(0.01, chain)
+		eng.Run()
+		return order
+	}
+	want := run(NewReferenceEngine())
+	got := run(NewEngine())
+	if len(got) != len(want) {
+		t.Fatalf("wheel dispatched %d events, heap %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("dispatch %d: wheel at %.6f, heap at %.6f (full wheel order %v)", i, got[i], want[i], got)
+		}
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i] < got[i-1] {
+			t.Fatalf("wheel dispatched out of time order at %d: %.6f after %.6f", i, got[i], got[i-1])
+		}
+	}
+}
