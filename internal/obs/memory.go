@@ -18,11 +18,21 @@ type Memory struct {
 	bursts []BurstRecord
 }
 
-// BeginBurst implements Recorder.
+// BeginBurst implements Recorder. The span and event buffers are pre-sized
+// from the burst's instance count — the control plane emits up to six
+// lifecycle spans per instance (queued, sched, build, ship, boot, exec) and
+// fault/hedge events on the order of one per instance — so recording a
+// burst appends without the doubling-regrowth copies that dominated
+// large-burst recording cost.
 func (m *Memory) BeginBurst(b BurstInfo) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	m.bursts = append(m.bursts, BurstRecord{Info: b})
+	rec := BurstRecord{Info: b}
+	if n := b.Instances; n > 0 {
+		rec.Spans = make([]Span, 0, 6*n)
+		rec.Events = make([]Event, 0, n)
+	}
+	m.bursts = append(m.bursts, rec)
 }
 
 // current returns the open burst, creating an anonymous one for records

@@ -37,6 +37,11 @@ type instanceBatch struct {
 	failedSec     []float64
 	hedgeExtraSec []float64
 	prevDelay     []float64 // decorrelated-jitter backoff memory
+	// pendDur is the crash/timeout offset scheduled against the in-flight
+	// attempt: the typed dispatch handler reads it back instead of a closure
+	// capturing the sampled value (recomputing it from the event timestamp
+	// would round differently).
+	pendDur []float64
 }
 
 const (
@@ -63,6 +68,7 @@ func (ib *instanceBatch) reset(n int) {
 	ib.failedSec = grownZeroed(ib.failedSec, n)
 	ib.hedgeExtraSec = grownZeroed(ib.hedgeExtraSec, n)
 	ib.prevDelay = grownZeroed(ib.prevDelay, n)
+	ib.pendDur = grownZeroed(ib.pendDur, n)
 }
 
 func (ib *instanceBatch) warm(i int) bool { return ib.flags[i]&flagWarm != 0 }

@@ -2,18 +2,21 @@ package platform
 
 import (
 	"fmt"
+	"runtime"
 	"testing"
 
-	"repro/internal/sim"
 	"repro/internal/workload"
 )
 
 // BenchmarkSim is the event-engine scaling curve recorded in BENCH_SIM.json:
 // one unpacked burst of C functions (C instances, the event-heaviest shape
-// per function) at C = 10³ … 10⁶, on the production wheel, the reference
-// heap, and the 8-cell sharded path. CI runs it at -benchtime=1x as a smoke
-// so the million-instance point cannot rot; the recorded curve comes from
-// dedicated -count runs.
+// per function) at C = 10³ … 10⁶, on the production wheel (typed dispatch),
+// the reference heap, the retained closure control plane, and the 8-cell
+// sharded path. Besides ns/op and the standard alloc columns, each
+// sub-benchmark reports allocs/instance and bytes/instance — the steady-state
+// per-instance footprint the typed dispatcher is sized by. CI runs it at
+// -benchtime=1x as a smoke so the million-instance point cannot rot; the
+// recorded curve comes from dedicated -count runs.
 func BenchmarkSim(b *testing.B) {
 	cs := []int{1_000, 10_000, 100_000, 1_000_000}
 	burstAt := func(c int) Burst {
@@ -21,37 +24,51 @@ func BenchmarkSim(b *testing.B) {
 	}
 	cfg := AWSLambda()
 
+	// loop runs the burst b.N times and reports per-instance allocation
+	// metrics from the runtime's malloc counters (the testing package only
+	// exposes per-op figures).
+	loop := func(b *testing.B, instances int, run func() error) {
+		b.ReportAllocs()
+		var before, after runtime.MemStats
+		runtime.ReadMemStats(&before)
+		for i := 0; i < b.N; i++ {
+			if err := run(); err != nil {
+				b.Fatal(err)
+			}
+		}
+		runtime.ReadMemStats(&after)
+		den := float64(b.N) * float64(instances)
+		b.ReportMetric(float64(after.Mallocs-before.Mallocs)/den, "allocs/instance")
+		b.ReportMetric(float64(after.TotalAlloc-before.TotalAlloc)/den, "bytes/instance")
+	}
+
 	for _, c := range cs {
 		b.Run(fmt.Sprintf("wheel/C=%d", c), func(b *testing.B) {
 			bb := burstAt(c)
-			b.ReportAllocs()
-			for i := 0; i < b.N; i++ {
-				if _, err := Run(cfg, bb); err != nil {
-					b.Fatal(err)
-				}
-			}
+			loop(b, c, func() error { _, err := Run(cfg, bb); return err })
 		})
 	}
 	for _, c := range cs {
 		b.Run(fmt.Sprintf("heap/C=%d", c), func(b *testing.B) {
 			bb := burstAt(c)
-			b.ReportAllocs()
-			newEngine = sim.NewReferenceEngine
-			defer func() { newEngine = sim.NewEngine }()
-			for i := 0; i < b.N; i++ {
-				if _, err := Run(cfg, bb); err != nil {
-					b.Fatal(err)
-				}
-			}
+			useReferenceEngine = true
+			defer func() { useReferenceEngine = false }()
+			loop(b, c, func() error { _, err := Run(cfg, bb); return err })
+		})
+	}
+	for _, c := range cs {
+		b.Run(fmt.Sprintf("closure/C=%d", c), func(b *testing.B) {
+			bb := burstAt(c)
+			runCP = runControlPlaneClosure
+			defer func() { runCP = runControlPlane }()
+			loop(b, c, func() error { _, err := Run(cfg, bb); return err })
 		})
 	}
 	b.Run("sharded/C=1000000/shards=8", func(b *testing.B) {
 		bb := burstAt(1_000_000)
-		b.ReportAllocs()
-		for i := 0; i < b.N; i++ {
-			if _, err := RunSharded(cfg, bb, Sharding{Shards: 8}); err != nil {
-				b.Fatal(err)
-			}
-		}
+		loop(b, 1_000_000, func() error {
+			_, err := RunSharded(cfg, bb, Sharding{Shards: 8})
+			return err
+		})
 	})
 }

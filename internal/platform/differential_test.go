@@ -8,15 +8,14 @@ import (
 
 	"repro/internal/interfere"
 	"repro/internal/obs"
-	"repro/internal/sim"
 	"repro/internal/workload"
 )
 
 // withReferenceEngine runs fn with every burst simulated on the retained
 // heap engine (the differential oracle) instead of the production wheel.
 func withReferenceEngine(fn func()) {
-	newEngine = sim.NewReferenceEngine
-	defer func() { newEngine = sim.NewEngine }()
+	useReferenceEngine = true
+	defer func() { useReferenceEngine = false }()
 	fn()
 }
 

@@ -146,7 +146,7 @@ func RunMixed(cfg Config, m MixedBurst) (*Result, error) {
 		arrivalOffsetSec: m.arrivalOffsetSec,
 		Recorder:         m.Recorder, Label: m.Label,
 	}
-	res, err := runControlPlane(cfg, pseudo, sc, rng)
+	res, err := runCP(cfg, pseudo, sc, rng)
 	if err != nil {
 		return nil, err
 	}

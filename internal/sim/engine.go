@@ -8,11 +8,22 @@
 // Time is a float64 in seconds of virtual time. Event ordering is total:
 // ties on time break on insertion sequence, so runs are reproducible.
 //
+// Events come in two kinds sharing one queue and one total order:
+//
+//   - Typed events are plain values — (at, kind, subject, seq) — dispatched
+//     through an EventSink registered once per run. They are the fast path:
+//     scheduling one allocates nothing, so a million-instance simulation is
+//     allocation-free in steady state.
+//   - Closure events (At/After) carry a func() and exist as a thin adapter
+//     over the same queue for callers that don't need the typed path's
+//     economy. Both kinds interleave freely; ordering is always (at, seq)
+//     regardless of kind.
+//
 // Two schedulers implement that order. The production one (NewEngine) is a
 // calendar-queue / timing-wheel hybrid with O(1) amortized schedule and
 // dispatch, sized for million-instance bursts; the original binary heap is
 // retained behind NewReferenceEngine as the differential-testing oracle the
-// wheel is property- and fuzz-tested against (see DESIGN §15).
+// wheel is property- and fuzz-tested against (see DESIGN §15–16).
 package sim
 
 import (
@@ -20,11 +31,25 @@ import (
 	"math"
 )
 
-// event is a scheduled callback in virtual time.
+// event is one scheduled occurrence in virtual time: a typed word
+// (kind, subject) when fn is nil, or a legacy closure callback otherwise.
+// Only (at, seq) participate in ordering; the payload is opaque to the
+// queues.
 type event struct {
-	at  float64
-	seq uint64
-	fn  func()
+	at      float64
+	seq     uint64
+	fn      func()
+	subject int32
+	kind    uint8
+}
+
+// EventSink handles typed events. One sink serves a whole run: Dispatch is
+// called for every typed event in dispatch order, with the engine's clock
+// already advanced to the event's time. Implementations are expected to be
+// a switch over their own kind table — a shape the compiler turns into a
+// jump, keeping dispatch allocation-free and branch-predictable.
+type EventSink interface {
+	Dispatch(kind uint8, subject int32)
 }
 
 // eventQueue is the pending-event structure behind an Engine. Both
@@ -40,14 +65,18 @@ type eventQueue interface {
 	// called when len() > 0.
 	pop() event
 	len() int
+	// reset drops every pending event while retaining grown capacity, so a
+	// pooled engine starts its next run without reallocating.
+	reset()
 }
 
 // Engine owns the virtual clock and the pending-event queue. The zero value
 // is not ready; use NewEngine (or NewReferenceEngine for the heap oracle).
 type Engine struct {
-	now float64
-	seq uint64
-	q   eventQueue
+	now  float64
+	seq  uint64
+	q    eventQueue
+	sink EventSink
 }
 
 // NewEngine returns an engine with the clock at time zero, backed by the
@@ -65,22 +94,66 @@ func NewReferenceEngine() *Engine {
 	return &Engine{q: &heapQueue{}}
 }
 
+// IsReference reports whether the engine runs the container/heap oracle
+// rather than the production wheel. Engine-pooling callers use it to detect
+// that a cached engine matches the implementation the run asks for.
+func (e *Engine) IsReference() bool {
+	_, ok := e.q.(*heapQueue)
+	return ok
+}
+
+// Reset returns the engine to time zero with no pending events and no sink,
+// retaining the queue's grown capacity. Burst-heavy callers pool one engine
+// across runs instead of re-growing the wheel's ring each time; a reset
+// engine is indistinguishable from a fresh one (same clock, same sequence
+// counter, same dispatch order).
+func (e *Engine) Reset() {
+	e.now = 0
+	e.seq = 0
+	e.sink = nil
+	e.q.reset()
+}
+
+// SetSink registers the handler for typed events. It must be called before
+// the first Emit of a run and must not be swapped while typed events are
+// pending — the sink is the run's kind table, not a per-event callback.
+func (e *Engine) SetSink(s EventSink) { e.sink = s }
+
 // Now returns the current virtual time in seconds.
 func (e *Engine) Now() float64 { return e.now }
 
-// At schedules fn to run at absolute virtual time t. Scheduling at a
-// non-finite time (NaN, ±Inf) or in the past panics — silently accepting
-// either would corrupt the queue's ordering invariants or causality. (NaN
-// compares false against everything, so before this check existed a NaN
-// timestamp would sit in the heap violating its invariant and scramble the
-// dispatch order of innocent neighbours.)
-func (e *Engine) At(t float64, fn func()) {
+// checkAt validates an absolute timestamp. Scheduling at a non-finite time
+// (NaN, ±Inf) or in the past panics — silently accepting either would
+// corrupt the queue's ordering invariants or causality. (NaN compares false
+// against everything, so before this check existed a NaN timestamp would sit
+// in the heap violating its invariant and scramble the dispatch order of
+// innocent neighbours.)
+func (e *Engine) checkAt(t float64) {
 	if math.IsNaN(t) || math.IsInf(t, 0) {
 		panic(fmt.Sprintf("sim: scheduling event at non-finite time %g", t))
 	}
 	if t < e.now {
 		panic(fmt.Sprintf("sim: scheduling event at %g before now %g", t, e.now))
 	}
+}
+
+// checkAfter validates a relative delay. Negative or non-finite delays
+// panic.
+func checkAfter(d float64) {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative delay %g", d))
+	}
+	if math.IsNaN(d) {
+		panic("sim: non-finite delay NaN")
+	}
+}
+
+// At schedules fn to run at absolute virtual time t. It is the legacy
+// closure adapter over the typed event word: the closure rides the same
+// queue and the same (at, seq) order as typed events, it just costs a heap
+// allocation per call. Hot paths use Emit instead.
+func (e *Engine) At(t float64, fn func()) {
+	e.checkAt(t)
 	e.seq++
 	e.q.push(event{at: t, seq: e.seq, fn: fn})
 }
@@ -88,17 +161,42 @@ func (e *Engine) At(t float64, fn func()) {
 // After schedules fn to run d seconds of virtual time from now. Negative or
 // non-finite delays panic.
 func (e *Engine) After(d float64, fn func()) {
-	if d < 0 {
-		panic(fmt.Sprintf("sim: negative delay %g", d))
-	}
-	if math.IsNaN(d) {
-		panic("sim: non-finite delay NaN")
-	}
+	checkAfter(d)
 	e.At(e.now+d, fn)
+}
+
+// Emit schedules a typed event at absolute virtual time t: when the clock
+// reaches t the registered sink's Dispatch(kind, subject) runs. The event is
+// a plain word in the queue — no allocation. Emitting with no sink
+// registered panics (the event could never dispatch).
+func (e *Engine) Emit(t float64, kind uint8, subject int32) {
+	if e.sink == nil {
+		panic("sim: Emit with no EventSink registered (call SetSink first)")
+	}
+	e.checkAt(t)
+	e.seq++
+	e.q.push(event{at: t, seq: e.seq, kind: kind, subject: subject})
+}
+
+// EmitAfter schedules a typed event d seconds of virtual time from now.
+// Negative or non-finite delays panic, as does an unregistered sink.
+func (e *Engine) EmitAfter(d float64, kind uint8, subject int32) {
+	checkAfter(d)
+	e.Emit(e.now+d, kind, subject)
 }
 
 // Pending reports the number of events not yet dispatched.
 func (e *Engine) Pending() int { return e.q.len() }
+
+// dispatch runs one popped event: the closure for the legacy kind, the sink
+// for typed words.
+func (e *Engine) dispatch(ev event) {
+	if ev.fn != nil {
+		ev.fn()
+		return
+	}
+	e.sink.Dispatch(ev.kind, ev.subject)
+}
 
 // Run dispatches events in time order until none remain, returning the final
 // virtual time.
@@ -106,7 +204,7 @@ func (e *Engine) Run() float64 {
 	for e.q.len() > 0 {
 		ev := e.q.pop()
 		e.now = ev.at
-		ev.fn()
+		e.dispatch(ev)
 	}
 	return e.now
 }
@@ -125,7 +223,7 @@ func (e *Engine) RunUntil(deadline float64) {
 		}
 		ev := e.q.pop()
 		e.now = ev.at
-		ev.fn()
+		e.dispatch(ev)
 	}
 	if deadline > e.now {
 		e.now = deadline

@@ -14,18 +14,53 @@ import (
 // overflow path), and partial RunUntil drains — executed against both
 // engines, recording every dispatch as (id, now, pending-after).
 
-// traceEntry is one dispatched event as observed by the harness.
+// traceEntry is one dispatched event as observed by the harness. typed
+// distinguishes sink-dispatched value events from closure callbacks, so a
+// schedule that delivered the right id at the right time through the wrong
+// path still fails the comparison.
 type traceEntry struct {
 	id      int
 	now     float64
 	pending int
+	typed   bool
+}
+
+// Typed-event kinds of the schedule programs. Kind 1 is a plain traced
+// event; kinds 2+depth respawn a nested sub-schedule from inside the sink,
+// mirroring the closure path's respawn-from-callback pattern.
+const (
+	progKindPlain uint8 = iota + 1
+	progKindRespawn0
+	progKindRespawn1
+	progKindRespawn2
+)
+
+// programSink receives the typed half of a schedule program. It appends to
+// the same trace the closure half appends to, so one slice records the
+// interleaved dispatch order across both event kinds.
+type programSink struct {
+	eng      *Engine
+	trace    *[]traceEntry
+	schedule func(depth int)
+}
+
+func (s *programSink) Dispatch(kind uint8, subject int32) {
+	*s.trace = append(*s.trace, traceEntry{id: int(subject), now: s.eng.Now(), pending: s.eng.Pending(), typed: true})
+	if kind >= progKindRespawn0 {
+		s.schedule(int(kind-progKindRespawn0) + 1)
+	}
 }
 
 // scheduleProgram runs a randomized schedule on eng and returns the
-// dispatch trace. All randomness comes from rng, so running it twice with
-// equal-seeded RNGs yields the same program on both engines.
+// dispatch trace. Events are a seeded mix of legacy closure callbacks
+// (After) and typed value events (EmitAfter through a registered sink) in
+// one program, so the trace also proves the closure adapter and the typed
+// path share one (at, seq) order. All randomness comes from rng, so running
+// it twice with equal-seeded RNGs yields the same program on both engines.
 func scheduleProgram(eng *Engine, rng *rand.Rand, ops int) []traceEntry {
 	var trace []traceEntry
+	sink := &programSink{eng: eng, trace: &trace}
+	eng.SetSink(sink)
 	nextID := 0
 	var schedule func(depth int)
 	schedule = func(depth int) {
@@ -47,6 +82,14 @@ func scheduleProgram(eng *Engine, rng *rand.Rand, ops int) []traceEntry {
 			d = rng.Float64() * 1e7 // far future: the overflow bucket
 		}
 		respawn := depth < 3 && rng.Intn(3) == 0
+		if rng.Intn(3) == 0 {
+			kind := progKindPlain
+			if respawn {
+				kind = progKindRespawn0 + uint8(depth)
+			}
+			eng.EmitAfter(d, kind, int32(id))
+			return
+		}
 		eng.After(d, func() {
 			trace = append(trace, traceEntry{id: id, now: eng.Now(), pending: eng.Pending()})
 			if respawn {
@@ -54,6 +97,7 @@ func scheduleProgram(eng *Engine, rng *rand.Rand, ops int) []traceEntry {
 			}
 		})
 	}
+	sink.schedule = schedule
 	for i := 0; i < ops; i++ {
 		schedule(0)
 		// Occasionally drain partway, exercising peek/RunUntil interleaved
@@ -101,11 +145,19 @@ func TestEngineDifferentialLockstep(t *testing.T) {
 		rw, rr := rand.New(rand.NewSource(seed)), rand.New(rand.NewSource(seed))
 		var wTrace, rTrace []traceEntry
 		load := func(eng *Engine, rng *rand.Rand, trace *[]traceEntry) {
+			eng.SetSink(&programSink{eng: eng, trace: trace})
 			for i := 0; i < 200; i++ {
 				id := i
 				d := rng.Float64() * math.Pow(10, float64(rng.Intn(7))-3)
 				if rng.Intn(5) == 0 {
 					d = 0
+				}
+				// Every third event goes through the typed path, so the
+				// lockstep comparison also pins the adapter's seq
+				// interleaving one dispatch at a time.
+				if i%3 == 0 {
+					eng.EmitAfter(d, progKindPlain, int32(id))
+					continue
 				}
 				eng.After(d, func() {
 					*trace = append(*trace, traceEntry{id: id, now: eng.Now(), pending: eng.Pending()})
@@ -170,6 +222,105 @@ func TestEngineDifferentialStations(t *testing.T) {
 	for i := range got {
 		if got[i] != want[i] {
 			t.Fatalf("completion %d differs:\nwheel %s\nheap  %s", i, got[i], want[i])
+		}
+	}
+}
+
+// stationSink drives the typed half of the station differential: two
+// chained TypedStations whose completions follow the Complete → logic →
+// Next protocol.
+type stationSink struct {
+	eng          *Engine
+	sched, build TypedStation
+	schedEnd     []float64
+	out          []string
+}
+
+const (
+	stKindSched uint8 = iota + 1
+	stKindBuild
+)
+
+func (s *stationSink) Dispatch(kind uint8, sub int32) {
+	switch kind {
+	case stKindSched:
+		s.sched.Complete(sub)
+		s.schedEnd[sub] = s.eng.Now()
+		s.build.Submit(sub)
+		s.sched.Next()
+	case stKindBuild:
+		s.build.Complete(sub)
+		s.out = append(s.out, fmt.Sprintf("%d:%.9f:%.9f", sub, s.schedEnd[sub], s.eng.Now()))
+		s.build.Next()
+	}
+}
+
+// TestEngineDifferentialTypedStations holds TypedStation to the closure
+// Station's contract: the same contended two-stage workload, run through
+// subjects-and-kinds instead of closures, must complete in the identical
+// order at bit-identical times — on both engines — and account the same
+// Served / BusySeconds totals.
+func TestEngineDifferentialTypedStations(t *testing.T) {
+	const jobs = 300
+	closureRun := func(eng *Engine) ([]string, float64, float64) {
+		var out []string
+		sched := NewStation(eng, 2)
+		build := NewStation(eng, 3)
+		rng := NewRNG(99)
+		for i := 0; i < jobs; i++ {
+			i := i
+			sched.Submit(
+				func() float64 { return 0.1 + 1e-4*float64(sched.Served) },
+				func(_, end float64) {
+					build.Submit(
+						func() float64 { return 2 + rng.Float64() },
+						func(_, be float64) {
+							out = append(out, fmt.Sprintf("%d:%.9f:%.9f", i, end, be))
+						})
+				})
+		}
+		eng.Run()
+		return out, sched.BusySeconds, build.BusySeconds
+	}
+	typedRun := func(eng *Engine) ([]string, float64, float64) {
+		s := &stationSink{eng: eng, schedEnd: make([]float64, jobs)}
+		rng := NewRNG(99)
+		s.sched.Init(eng, 2, stKindSched, jobs, func(int32) float64 {
+			return 0.1 + 1e-4*float64(s.sched.Served)
+		})
+		s.build.Init(eng, 3, stKindBuild, jobs, func(int32) float64 {
+			return 2 + rng.Float64()
+		})
+		eng.SetSink(s)
+		for i := 0; i < jobs; i++ {
+			s.sched.Submit(int32(i))
+		}
+		eng.Run()
+		return s.out, s.sched.BusySeconds, s.build.BusySeconds
+	}
+	want, wantSchedBusy, wantBuildBusy := closureRun(NewReferenceEngine())
+	for _, impl := range []struct {
+		name string
+		run  func(*Engine) ([]string, float64, float64)
+		eng  *Engine
+	}{
+		{"closure/wheel", closureRun, NewEngine()},
+		{"typed/heap", typedRun, NewReferenceEngine()},
+		{"typed/wheel", typedRun, NewEngine()},
+	} {
+		got, schedBusy, buildBusy := impl.run(impl.eng)
+		if len(got) != len(want) {
+			t.Fatalf("%s completed %d jobs, closure/heap %d", impl.name, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("%s completion %d differs:\n%s: %s\nclosure/heap: %s",
+					impl.name, i, impl.name, got[i], want[i])
+			}
+		}
+		if schedBusy != wantSchedBusy || buildBusy != wantBuildBusy {
+			t.Fatalf("%s busy-seconds differ: sched %g vs %g, build %g vs %g",
+				impl.name, schedBusy, wantSchedBusy, buildBusy, wantBuildBusy)
 		}
 	}
 }

@@ -116,6 +116,16 @@ func TestEngineRejectsBadTimestamps(t *testing.T) {
 		{"After negative", "negative delay", func(e *Engine) { e.After(-0.001, func() {}) }},
 		{"After NaN", "non-finite delay", func(e *Engine) { e.After(math.NaN(), func() {}) }},
 		{"RunUntil NaN", "non-finite RunUntil deadline", func(e *Engine) { e.RunUntil(math.NaN()) }},
+		// The typed path refuses the same inputs as the closure adapter.
+		{"Emit NaN", "non-finite time", func(e *Engine) { e.SetSink(dropSink{}); e.Emit(math.NaN(), 1, 0) }},
+		{"Emit past", "before now", func(e *Engine) {
+			e.SetSink(dropSink{})
+			e.RunUntil(5)
+			e.Emit(4.999, 1, 0)
+		}},
+		{"EmitAfter negative", "negative delay", func(e *Engine) { e.SetSink(dropSink{}); e.EmitAfter(-0.001, 1, 0) }},
+		{"EmitAfter NaN", "non-finite delay", func(e *Engine) { e.SetSink(dropSink{}); e.EmitAfter(math.NaN(), 1, 0) }},
+		{"Emit no sink", "no EventSink registered", func(e *Engine) { e.Emit(1, 1, 0) }},
 	}
 	for _, impl := range engineImpls {
 		for _, tc := range cases {
@@ -133,6 +143,81 @@ func TestEngineRejectsBadTimestamps(t *testing.T) {
 				tc.call(impl.mk())
 			})
 		}
+	}
+}
+
+// dropSink is the no-op EventSink for edge tests that only exercise
+// scheduling validation.
+type dropSink struct{}
+
+func (dropSink) Dispatch(uint8, int32) {}
+
+// TestEngineResetReuse pins the engine-pooling contract: after Reset, a
+// reused engine is indistinguishable from a fresh one — clock at zero, no
+// pending events, no sink, sequence numbering restarted — so the same
+// program replays to a bit-identical trace, on both implementations and
+// regardless of what the previous run left behind (including undispatched
+// events abandoned mid-run).
+func TestEngineResetReuse(t *testing.T) {
+	program := func(eng *Engine) []traceEntry {
+		rng := NewRNG(7)
+		var trace []traceEntry
+		eng.SetSink(&programSink{eng: eng, trace: &trace, schedule: func(int) {}})
+		for i := 0; i < 100; i++ {
+			id := i
+			d := rng.Float64() * 10
+			if i%4 == 0 {
+				eng.EmitAfter(d, progKindPlain, int32(id))
+				continue
+			}
+			eng.After(d, func() {
+				trace = append(trace, traceEntry{id: id, now: eng.Now(), pending: eng.Pending()})
+			})
+		}
+		eng.Run()
+		return trace
+	}
+	for _, impl := range engineImpls {
+		t.Run(impl.name, func(t *testing.T) {
+			fresh := impl.mk()
+			want := program(fresh)
+
+			eng := impl.mk()
+			if eng.IsReference() != (impl.name == "heap") {
+				t.Fatalf("IsReference() = %v for %s engine", eng.IsReference(), impl.name)
+			}
+			// Dirty the engine: advance the clock, abandon pending events,
+			// leave a sink registered.
+			eng.SetSink(dropSink{})
+			for i := 0; i < 500; i++ {
+				eng.EmitAfter(float64(i)*0.01, 1, int32(i))
+				eng.After(float64(i)*0.02, func() {})
+			}
+			eng.RunUntil(2.5)
+
+			eng.Reset()
+			if eng.Now() != 0 || eng.Pending() != 0 {
+				t.Fatalf("after Reset: now=%g pending=%d, want 0/0", eng.Now(), eng.Pending())
+			}
+			// Reset cleared the sink: emitting without re-registering panics.
+			func() {
+				defer func() {
+					if r := recover(); r == nil {
+						t.Fatal("Emit after Reset did not panic without a sink")
+					}
+				}()
+				eng.Emit(1, 1, 0)
+			}()
+			got := program(eng)
+			if len(got) != len(want) {
+				t.Fatalf("reused engine dispatched %d events, fresh %d", len(got), len(want))
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("dispatch %d differs after reuse: got %+v, fresh %+v", i, got[i], want[i])
+				}
+			}
+		})
 	}
 }
 

@@ -4,13 +4,39 @@ import (
 	"testing"
 )
 
+// fuzzSink receives the typed events of a fuzz program. Plain kinds just
+// trace; the respawn kind additionally emits a typed zero-delay follow-up
+// and a small-delay closure event, so typed and closure events keep feeding
+// each other's (at, seq) stream from inside a dispatch.
+type fuzzSink struct {
+	eng      *Engine
+	trace    *[]traceEntry
+	schedule func(d float64, respawn int)
+}
+
+const (
+	fuzzKindPlain uint8 = iota + 1
+	fuzzKindRespawn
+)
+
+func (s *fuzzSink) Dispatch(kind uint8, subject int32) {
+	*s.trace = append(*s.trace, traceEntry{id: int(subject), now: s.eng.Now(), pending: s.eng.Pending(), typed: true})
+	if kind == fuzzKindRespawn {
+		s.eng.EmitAfter(0, fuzzKindPlain, subject+10_000)
+		s.schedule(float64(subject%7)*1e-3+1e-5, 0)
+	}
+}
+
 // fuzzProgram interprets raw bytes as a deterministic schedule and runs it,
 // recording the dispatch trace. Three bytes per instruction: an opcode and a
 // 16-bit operand. The opcode selects a delay scale (from sub-microsecond up
-// to the overflow bucket's far future), a partial RunUntil drain, or a
-// nested respawn whose callbacks schedule further events. Because the
-// program depends only on the bytes, running it on the wheel and the heap
-// must yield identical traces — that equality is the fuzz property.
+// to the overflow bucket's far future) for a closure or typed event, a
+// partial RunUntil drain, or a nested respawn whose callbacks schedule
+// further events — closure respawns schedule closures, typed respawns emit
+// typed and closure events both, so a single program interleaves both event
+// kinds in one (at, seq) stream. Because the program depends only on the
+// bytes, running it on the wheel and the heap must yield identical traces —
+// that equality is the fuzz property.
 func fuzzProgram(eng *Engine, data []byte) []traceEntry {
 	var trace []traceEntry
 	nextID := 0
@@ -26,10 +52,17 @@ func fuzzProgram(eng *Engine, data []byte) []traceEntry {
 			}
 		})
 	}
+	sink := &fuzzSink{eng: eng, trace: &trace, schedule: schedule}
+	eng.SetSink(sink)
+	emit := func(d float64, kind uint8) {
+		id := nextID
+		nextID++
+		eng.EmitAfter(d, kind, int32(id))
+	}
 	for i := 0; i+2 < len(data); i += 3 {
 		op := data[i]
 		v := float64(uint16(data[i+1])<<8 | uint16(data[i+2]))
-		switch op % 9 {
+		switch op % 12 {
 		case 0:
 			schedule(0, 0)
 		case 1:
@@ -46,6 +79,12 @@ func fuzzProgram(eng *Engine, data []byte) []traceEntry {
 			eng.RunUntil(eng.Now() + v*1e-2)
 		case 8:
 			schedule(v*1e-2, 3)
+		case 9:
+			emit(0, fuzzKindPlain) // typed zero delay: FIFO ties with closures
+		case 10:
+			emit(v*1e-2, fuzzKindRespawn)
+		case 11:
+			emit(v*1e3, fuzzKindPlain) // typed far future: overflow bucket
 		}
 	}
 	eng.Run()
@@ -69,6 +108,10 @@ func FuzzEngineSchedule(f *testing.F) {
 	f.Add([]byte{0, 0, 0, 0, 0, 0, 7, 0, 1, 0, 0, 0, 7, 0, 0, 8, 0, 0})
 	// Tight timestamps around shared values: tie-breaking under pressure.
 	f.Add([]byte{2, 0, 10, 2, 0, 10, 2, 0, 10, 1, 0, 10, 7, 0, 10, 2, 0, 10})
+	// Typed and closure events interleaved: zero-delay ties, a typed
+	// respawn feeding both streams, and a typed overflow spill crossed by
+	// closure chains.
+	f.Add([]byte{9, 0, 0, 0, 0, 0, 10, 0, 40, 8, 0, 40, 11, 0, 1, 3, 0, 2, 9, 0, 0, 7, 0, 90})
 	f.Fuzz(func(t *testing.T, data []byte) {
 		if len(data) > 3*512 {
 			t.Skip("schedule longer than the harness budget")

@@ -65,3 +65,14 @@ func (q *heapQueue) pop() event {
 }
 
 func (q *heapQueue) len() int { return len(q.events) }
+
+// reset drops every pending event onto the freelist (callback references
+// cleared) so a pooled engine restarts without reallocating slots.
+func (q *heapQueue) reset() {
+	for i, e := range q.events {
+		e.fn = nil
+		q.free = append(q.free, e)
+		q.events[i] = nil
+	}
+	q.events = q.events[:0]
+}

@@ -102,6 +102,33 @@ func (w *wheelQueue) len() int {
 	return len(w.ready) - w.readyPos + w.inWheel + len(w.overflow)
 }
 
+// reset drops every pending event and re-anchors the grid at time zero,
+// keeping the ring, ready run, and overflow heap at their grown capacities
+// so a pooled engine's next run starts warm. Grid geometry (bucket count)
+// is retained too — order never depends on it, and a same-sized run skips
+// the growth rebuilds.
+func (w *wheelQueue) reset() {
+	for i, b := range w.buckets {
+		for j := range b {
+			b[j] = event{}
+		}
+		w.buckets[i] = b[:0]
+	}
+	clear(w.occupied)
+	clear(w.overflow)
+	w.overflow = w.overflow[:0]
+	w.overflowMin = math.Inf(1)
+	for i := range w.ready {
+		w.ready[i] = event{}
+	}
+	w.ready = w.ready[:0]
+	w.readyPos = 0
+	w.inWheel = 0
+	w.base = 0
+	w.cur = 0
+	w.width = wheelInitWidth
+}
+
 // edge returns the lower edge of absolute bucket k, computed directly from
 // the grid origin so pushes and extraction agree on boundaries exactly.
 func (w *wheelQueue) edge(k int64) float64 { return w.base + float64(k)*w.width }
