@@ -3,6 +3,7 @@ package propack
 import (
 	"fmt"
 	"io"
+	"math"
 	"testing"
 
 	"repro/internal/baseline"
@@ -71,6 +72,7 @@ func BenchmarkExtProvider(b *testing.B)  { benchExperiment(b, "ext-provider") }
 func BenchmarkExtThrottle(b *testing.B)  { benchExperiment(b, "ext-throttle") }
 func BenchmarkExtDecentral(b *testing.B) { benchExperiment(b, "ext-decentral") }
 func BenchmarkExtAmortize(b *testing.B)  { benchExperiment(b, "ext-amortize") }
+func BenchmarkExtJoint(b *testing.B)     { benchExperiment(b, "ext-joint") }
 
 // --- Ablation benches (DESIGN.md §5) ---------------------------------------
 
@@ -289,6 +291,58 @@ func BenchmarkQoSPlan(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// BenchmarkPlanJoint times joint degree × memory planning over a 5-size
+// grid on a warm Planner — the acceptance comparison for the pruned 2-D
+// argmin is against BenchmarkQoSPlan: K sizes must cost much less than K×
+// the 1-D search. The cached-plan sub-benchmark is the steady-state serving
+// path and must not allocate.
+func BenchmarkPlanJoint(b *testing.B) {
+	cfg := platform.AWSLambda()
+	d := VideoWorkload().Demand()
+	sizes := []float64{2048, 4096, 6144, 8192, 10240}
+	rec, err := AdviseJoint(cfg, d, 5000, Balanced(), sizes)
+	if err != nil {
+		b.Fatal(err)
+	}
+	pl, err := NewJointPlanner(rec.Grid)
+	if err != nil {
+		b.Fatal(err)
+	}
+	const c = 5000
+	// The tightest achievable tail across the grid; the bound just above it
+	// forces the weight search deep into the grid, as in BenchmarkQoSPlan.
+	tight := math.Inf(1)
+	for _, s := range rec.Grid.Sizes {
+		v, err := s.Models.TailServiceAt(c, core.ServiceOnly(), 95)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if v < tight {
+			tight = v
+		}
+	}
+	qos := tight * 1.02
+	if _, _, err := pl.QoSPlanJoint(c, qos, core.QoSOptions{}); err != nil {
+		b.Fatal(err)
+	}
+	b.Run("qos", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, _, err := pl.QoSPlanJoint(c, qos, core.QoSOptions{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("cached-plan", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := pl.PlanJointFor(c, Balanced()); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }
 
 // BenchmarkPlanMixed times the heterogeneous composition search over three

@@ -149,6 +149,7 @@ func TestServeE2E(t *testing.T) {
 			{"advise", "/v1/advise?app=Video&platform=aws&c=2000&ws=0.5"},
 			{"plan", "/v1/plan?app=Video&platform=aws&c=2000&degree=5"},
 			{"qos", "/v1/qos?app=Xapian&platform=aws&c=2000&qos=120"},
+			{"joint", "/v1/joint?app=Video&platform=aws&c=2000&sizes=5120,10240&ws=0.5"},
 			{"mixed", "/v1/mixed?app=Video:60&app=Smith-Waterman:60&platform=aws&ws=0.5"},
 		}
 		for _, tc := range cases {
@@ -196,6 +197,29 @@ func TestServeE2E(t *testing.T) {
 		// The hammer tenant's bucket is private: anonymous requests still pass.
 		if code, body, _ := httpGet(t, path+"&i=anon", nil); code != http.StatusOK {
 			t.Fatalf("anonymous request caught by hammer's limit: %d %s", code, body)
+		}
+
+		// The joint route sheds under the same per-tenant buckets. The sizes
+		// match the golden request, so every accepted request is a cached
+		// pool hit — the 429s come from the limiter, not from slow builds.
+		jointHammer := map[string]string{"X-API-Key": "hammer-joint"}
+		jointPath := p.base + "/v1/joint?app=Video&platform=aws&c=100&sizes=5120,10240"
+		shed = 0
+		for i := 0; i < 14; i++ {
+			code, body, hdr := httpGet(t, fmt.Sprintf("%s&i=%d", jointPath, i), jointHammer)
+			switch code {
+			case http.StatusOK:
+			case http.StatusTooManyRequests:
+				shed++
+				if hdr.Get("Retry-After") == "" {
+					t.Fatalf("joint 429 without Retry-After: %s", body)
+				}
+			default:
+				t.Fatalf("joint request %d: status %d: %s", i, code, body)
+			}
+		}
+		if shed == 0 {
+			t.Fatal("joint hammer never rate limited across 14 requests against a burst of 10")
 		}
 	})
 
@@ -251,6 +275,8 @@ func TestServeE2E(t *testing.T) {
 		}
 		for _, want := range []string{
 			`http_route_requests_total{route="advise",code="200",tenant_class="anon"}`,
+			`http_route_requests_total{route="joint",code="200",tenant_class="anon"}`,
+			`http_route_requests_total{route="joint",code="429",tenant_class="keyed"}`,
 			"stage_seconds_plan_count",
 			`slo_error_rate{window="300s"}`,
 			"go_goroutines",

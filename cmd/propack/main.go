@@ -5,9 +5,9 @@
 //
 // Usage:
 //
-//	propack advise -app Video -platform aws -c 5000 [-ws 0.5 | -qos 120]
-//	propack run    -app Video -platform aws -c 5000 -degree 10
-//	propack sweep  -app Sort  -platform aws -c 2000
+//	propack advise -app Video -platform aws -c 5000 [-ws 0.5 | -qos 120] [-mem.grid 2560,5120,10240]
+//	propack run    -app Video -platform aws -c 5000 -degree 10 [-mem.grid ...]
+//	propack sweep  -app Sort  -platform aws -c 2000 [-mem.grid ...]
 //	propack local  -app "Stateless Cost" -degree 8 -cores 4
 //	propack serve  -addr 127.0.0.1:8080
 //	propack apps
@@ -15,10 +15,13 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
+	"math"
 	"os"
+	"strconv"
 	"strings"
 
 	"repro/internal/baseline"
@@ -118,6 +121,28 @@ func platformByName(name string) (platform.Config, error) {
 	}
 }
 
+// parseMemGrid parses the -mem.grid flag: a comma-separated list of memory
+// sizes in MB, strictly increasing (the core layer enforces the ordering so
+// a shuffled grid fails loudly rather than silently re-sorting).
+func parseMemGrid(s string) ([]float64, error) {
+	var sizes []float64
+	for _, field := range strings.Split(s, ",") {
+		field = strings.TrimSpace(field)
+		if field == "" {
+			continue
+		}
+		mb, err := strconv.ParseFloat(field, 64)
+		if err != nil || math.IsNaN(mb) || math.IsInf(mb, 0) {
+			return nil, fmt.Errorf("bad -mem.grid entry %q (want comma-separated MB values)", field)
+		}
+		sizes = append(sizes, mb)
+	}
+	if len(sizes) == 0 {
+		return nil, fmt.Errorf("-mem.grid lists no memory sizes")
+	}
+	return sizes, nil
+}
+
 func cmdApps([]string) error {
 	for _, w := range workload.All() {
 		d := w.Demand()
@@ -137,6 +162,7 @@ func cmdAdvise(args []string) error {
 	qos := fs.Float64("qos", 0, "p95 service-time bound in seconds (0 = no QoS; overrides -ws)")
 	crashRate := fs.Float64("crashrate", 0, "plan for this mid-execution crash rate λ (reliability-aware planning)")
 	retryDelay := fs.Float64("retrydelay", 5, "modeled retry delay per crash in seconds (with -crashrate)")
+	memGrid := fs.String("mem.grid", "", "comma-separated memory sizes in MB: plan jointly over (degree, memory) instead of degree alone")
 	registry := fs.String("registry", "", "model registry directory (cache fitted models across runs)")
 	ci := fs.Bool("ci", false, "bootstrap 95% confidence intervals for the fitted parameters")
 	seed := fs.Int64("seed", 1, "simulation seed")
@@ -153,6 +179,15 @@ func cmdAdvise(args []string) error {
 	}
 	if *qos > 0 && *crashRate > 0 {
 		return fmt.Errorf("-qos and -crashrate cannot be combined: QoS planning has no reliability-aware variant")
+	}
+	if *memGrid != "" {
+		if *crashRate > 0 {
+			return fmt.Errorf("-mem.grid and -crashrate cannot be combined: joint planning has no reliability-aware variant")
+		}
+		if *registry != "" || *ci {
+			return fmt.Errorf("-mem.grid supports neither -registry nor -ci yet")
+		}
+		return adviseJoint(cfg, w, *memGrid, *c, *ws, *qos, *seed)
 	}
 	meas := &core.SimMeasurer{Config: cfg, Demand: w.Demand(), Seed: *seed}
 	var models core.Models
@@ -241,6 +276,53 @@ func cmdAdvise(args []string) error {
 	return nil
 }
 
+// adviseJoint is advise's -mem.grid branch: profile the application once
+// per memory size, then run the pruned 2-D argmin over (degree, memory).
+func adviseJoint(cfg platform.Config, w workload.Workload, gridSpec string, c int, ws, qos float64, seed int64) error {
+	sizes, err := parseMemGrid(gridSpec)
+	if err != nil {
+		return err
+	}
+	probes, err := core.GridProbesFor(cfg, w.Demand(), sizes, seed)
+	if err != nil {
+		return err
+	}
+	grid, overhead, err := core.BuildGridModels(probes)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("application   : %s on %s\n", w.Name(), cfg.Name)
+	fmt.Printf("memory grid   : %v MB\n", grid.MemSizesMB())
+	for _, s := range grid.Sizes {
+		fmt.Printf("  %6.0f MB    : %s, max degree %d\n", s.MemMB, s.Models.ET, s.Models.MaxDegree)
+	}
+	fmt.Printf("scaling model : %s\n", grid.Base().Scaling)
+
+	var plan core.JointPlan
+	var weights core.Weights
+	if qos > 0 {
+		plan, weights, err = grid.QoSPlanJoint(c, qos, core.QoSOptions{})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("QoS weights   : W_S=%.2f W_E=%.2f (p95 bound %.1fs)\n",
+			weights.Service, weights.Expense, qos)
+	} else {
+		weights = core.Weights{Service: ws, Expense: 1 - ws}
+		plan, err = grid.PlanJointFor(c, weights)
+		if err != nil {
+			return err
+		}
+	}
+	fmt.Printf("\nrecommended config at C=%d: degree %d at %.0f MB\n", c, plan.Degree, plan.MemMB)
+	base := grid.Sizes[len(grid.Sizes)-1].MemMB
+	fmt.Printf("predicted service: %.1fs (baseline %.1fs at %.0f MB, degree 1)\n",
+		plan.PredictedServiceSec, plan.BaselineServiceSec, base)
+	fmt.Printf("predicted expense: $%.2f (baseline $%.2f)\n", plan.PredictedExpenseUSD, plan.BaselineExpenseUSD)
+	fmt.Printf("modeling bill    : $%.4f\n", overhead.TotalUSD())
+	return nil
+}
+
 func printMetrics(m trace.Metrics) {
 	fmt.Printf("degree %d → %d instances on %s\n", m.Degree, m.Instances, m.Platform)
 	fmt.Printf("  scaling time   : %.1fs\n", m.ScalingTime)
@@ -302,6 +384,8 @@ func cmdRun(args []string) error {
 	plat := fs.String("platform", "aws", "platform: aws, google, azure, funcx")
 	c := fs.Int("c", 5000, "concurrency level")
 	degree := fs.Int("degree", 1, "packing degree (1 = traditional)")
+	memGrid := fs.String("mem.grid", "", "comma-separated memory sizes in MB: plan jointly over (degree, memory) and run the chosen config, overriding -degree")
+	ws := fs.Float64("ws", 0.5, "service-time weight W_S for -mem.grid joint planning")
 	timeline := fs.String("timeline", "", "write per-instance timelines as CSV to this file")
 	jsonOut := fs.Bool("json", false, "emit the run metrics as one JSON line on stdout")
 	seed := fs.Int64("seed", 1, "simulation seed")
@@ -317,6 +401,33 @@ func cmdRun(args []string) error {
 	cfg, err := platformByName(*plat)
 	if err != nil {
 		return err
+	}
+	if *memGrid != "" {
+		// Plan on the fault-free platform (the models assume clean probes),
+		// then resize the config to the chosen memory before injecting
+		// faults. The notice goes to stderr so -json keeps stdout pure.
+		sizes, err := parseMemGrid(*memGrid)
+		if err != nil {
+			return err
+		}
+		probes, err := core.GridProbesFor(cfg, w.Demand(), sizes, *seed)
+		if err != nil {
+			return err
+		}
+		grid, _, err := core.BuildGridModels(probes)
+		if err != nil {
+			return err
+		}
+		jp, err := grid.PlanJointFor(*c, core.Weights{Service: *ws, Expense: 1 - *ws})
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "joint plan: degree %d at %.0f MB (predicted %.1fs, $%.2f)\n",
+			jp.Degree, jp.MemMB, jp.PredictedServiceSec, jp.PredictedExpenseUSD)
+		*degree = jp.Degree
+		if cfg, err = cfg.WithMemory(jp.MemMB); err != nil {
+			return err
+		}
 	}
 	cfg, err = applyFaults(cfg)
 	if err != nil {
@@ -365,6 +476,7 @@ func cmdSweep(args []string) error {
 	app := fs.String("app", "Video", "application name")
 	plat := fs.String("platform", "aws", "platform: aws, google, azure, funcx")
 	c := fs.Int("c", 2000, "concurrency level")
+	memGrid := fs.String("mem.grid", "", "comma-separated memory sizes in MB: sweep degrees at every size and add a mem column")
 	jsonOut := fs.Bool("json", false, "emit one JSON line of metrics per degree on stdout")
 	seed := fs.Int64("seed", 1, "simulation seed")
 	workers := fs.Int("workers", 0, "parallel workers over packing degrees; the default 0 uses one worker per core (bounded by GOMAXPROCS), and -workers 1 reproduces fully sequential execution for debugging — output is byte-identical for any value")
@@ -383,6 +495,18 @@ func cmdSweep(args []string) error {
 	sink, err := setupObs()
 	if err != nil {
 		return err
+	}
+	if *memGrid != "" {
+		sizes, err := parseMemGrid(*memGrid)
+		if err != nil {
+			sink.Close()
+			return err
+		}
+		if err := sweepGrid(cfg, w, sizes, *c, *seed, *workers, *jsonOut, sink); err != nil {
+			sink.Close()
+			return err
+		}
+		return sink.Close()
 	}
 	all, err := baseline.SweepWithOptions(cfg, w.Demand(), *c, *seed, cfg.Shape.MaxDegree(w.Demand()),
 		baseline.SweepOptions{Workers: *workers, Recorder: sink.Rec})
@@ -413,6 +537,59 @@ func cmdSweep(args []string) error {
 		return err
 	}
 	return sink.Close()
+}
+
+// sweepGrid is sweep's -mem.grid branch: one degree sweep per memory size,
+// sizes in ascending order, rendered as a single table with a mem column
+// (or, with -json, one line per (size, degree) carrying a mem_mb field).
+func sweepGrid(cfg platform.Config, w workload.Workload, sizes []float64, c int, seed int64, workers int, jsonOut bool, sink *obsSink) error {
+	type sized struct {
+		memMB float64
+		rows  []trace.Metrics
+	}
+	var swept []sized
+	for i, mb := range sizes {
+		if i > 0 && mb <= sizes[i-1] {
+			return fmt.Errorf("-mem.grid sizes must be strictly increasing, got %g after %g", mb, sizes[i-1])
+		}
+		scfg, err := cfg.WithMemory(mb)
+		if err != nil {
+			return err
+		}
+		rows, err := baseline.SweepWithOptions(scfg, w.Demand(), c, seed, scfg.Shape.MaxDegree(w.Demand()),
+			baseline.SweepOptions{Workers: workers, Recorder: sink.Rec})
+		if err != nil {
+			return err
+		}
+		swept = append(swept, sized{memMB: mb, rows: rows})
+	}
+	if jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		for _, s := range swept {
+			for _, m := range s.rows {
+				row := struct {
+					MemMB float64 `json:"mem_mb"`
+					trace.Metrics
+				}{s.memMB, m}
+				if err := enc.Encode(row); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	}
+	tab := &trace.Table{
+		Title:  fmt.Sprintf("%s on %s at C=%d, memory grid %v MB", w.Name(), cfg.Name, c, sizes),
+		Header: []string{"mem", "degree", "instances", "scaling", "service", "p95", "expense"},
+	}
+	for _, s := range swept {
+		for _, m := range s.rows {
+			tab.AddRow(fmt.Sprintf("%.0fMB", s.memMB), fmt.Sprint(m.Degree), fmt.Sprint(m.Instances),
+				fmt.Sprintf("%.1fs", m.ScalingTime), fmt.Sprintf("%.1fs", m.TotalService),
+				fmt.Sprintf("%.1fs", m.TailService), fmt.Sprintf("$%.2f", m.ExpenseUSD))
+		}
+	}
+	return tab.Fprint(os.Stdout)
 }
 
 func cmdLocal(args []string) error {

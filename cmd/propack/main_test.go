@@ -44,6 +44,27 @@ func TestCommandByName(t *testing.T) {
 	}
 }
 
+func TestParseMemGrid(t *testing.T) {
+	got, err := parseMemGrid(" 2048, 4096 ,10240 ")
+	if err != nil {
+		t.Fatalf("parseMemGrid: %v", err)
+	}
+	want := []float64{2048, 4096, 10240}
+	if len(got) != len(want) {
+		t.Fatalf("parseMemGrid = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("parseMemGrid = %v, want %v", got, want)
+		}
+	}
+	for _, bad := range []string{"", ",,", "abc", "2048,NaN", "2048,+Inf"} {
+		if _, err := parseMemGrid(bad); err == nil {
+			t.Errorf("parseMemGrid(%q) accepted", bad)
+		}
+	}
+}
+
 func TestCommandNamesUnique(t *testing.T) {
 	seen := map[string]bool{}
 	for _, c := range commands {

@@ -149,7 +149,7 @@ func TestConcurrentTableCacheSingleflight(t *testing.T) {
 // capacity, Len stays within it (per-shard rounding allows at most one
 // extra entry per shard).
 func TestTableCacheShardedEviction(t *testing.T) {
-	capacity := 2 * tableShards // smallest capacity that shards
+	capacity := 2 * cacheShards // smallest capacity that shards
 	tc := NewTableCache(stressModels(), capacity)
 	for c := 1; c <= 10*capacity; c++ {
 		if _, err := tc.Table(c); err != nil {

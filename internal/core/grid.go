@@ -1,0 +1,946 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/stats"
+)
+
+// The joint degree × memory planner. ProPack as published picks only a
+// packing degree P at a fixed instance size, but real platforms couple CPU
+// share to the memory size purchased (Lambda allocates ~1 vCPU per 1769 MB),
+// which makes memory a second planning axis: a smaller size is cheaper per
+// instance-second but slows every function packed into it, so the Eq. 5–7
+// regret trade-off has a second dimension. A GridTable generalizes
+// DegreeTable to a (P × mem) grid — one DegreeTable per memory size, each
+// built from that size's independently fitted model stack — and the Eq. 4–9
+// entry points become 2-D argmins over the grid.
+//
+// Two disciplines carry over from the 1-D planner:
+//
+//   - Bit-identity: a grid with a single memory size must reproduce the 1-D
+//     planner's answers byte-for-byte. Every per-cell expression below is
+//     the DegreeTable expression (the per-size tables *are* DegreeTables),
+//     candidate enumeration is size-major with the same first-wins strict-<
+//     tie-breaking, and the minima folds use the same comparison chains.
+//     grid_equiv_test.go holds every entry point to this.
+//
+//   - Pruned search stays exact: the 2-D argmin skips whole memory rows via
+//     per-size lower bounds, but only when skipping provably cannot change
+//     the answer *in float arithmetic* (see argminJoint); anything
+//     degenerate falls back to the exhaustive scan, which is retained as
+//     the test oracle (argminJointExact).
+
+// SizeModels is one memory size's fitted model stack. Alpha, the storage
+// term, the expense rate, and the feasible degree range are all per-size
+// (CPU share scales with memory, so interference differs per size); the
+// scaling model is a platform property shared across sizes.
+type SizeModels struct {
+	// MemMB is the purchased instance memory in MB.
+	MemMB float64
+	// Models predicts service time and expense at this size.
+	Models Models
+}
+
+// GridModels is the joint planner's input: per-size model stacks over a
+// strictly increasing memory-size grid. The zero value is invalid; build
+// one with BuildGridModels or assemble it from per-size fits.
+type GridModels struct {
+	Sizes []SizeModels
+}
+
+// Base returns the largest size's models — the conventional full-size
+// deployment every joint plan is baselined against.
+func (g GridModels) Base() Models { return g.Sizes[len(g.Sizes)-1].Models }
+
+// MemSizesMB lists the grid's memory sizes in ascending order.
+func (g GridModels) MemSizesMB() []float64 {
+	out := make([]float64, len(g.Sizes))
+	for i, s := range g.Sizes {
+		out[i] = s.MemMB
+	}
+	return out
+}
+
+// JointConfig is a chosen (packing degree, memory size) cell.
+type JointConfig struct {
+	Degree int
+	MemMB  float64
+}
+
+// JointPlan is a Plan extended with the chosen memory size. The embedded
+// Plan's baseline is degree 1 at the grid's largest memory size — the
+// deployment a user who tunes nothing would run.
+type JointPlan struct {
+	Plan
+	MemMB float64
+}
+
+// --- GridTable ---------------------------------------------------------------
+
+// GridTable holds the memoized per-size DegreeTables for one (GridModels,
+// concurrency) pair, plus the per-size minima that power the pruned 2-D
+// argmin. Quantile columns stay lazy per size (a size whose row is pruned
+// never materializes them). Safe for concurrent use.
+type GridTable struct {
+	g GridModels
+	c int
+
+	sizes []gridSize
+
+	// expenseNaN records whether any row's expense minimum is NaN (an
+	// overflowed ET times a zero rate). A NaN row minimum means the row's
+	// first element is NaN — minOf never leaves NaN once seeded with it —
+	// and folding such row minima is NOT equivalent to the flat fold the
+	// exact scan implies, so bestExpense must take the flat fold then.
+	expenseNaN bool
+}
+
+// gridSize is one memory row: its DegreeTable and the row minima used as
+// pruning lower bounds.
+type gridSize struct {
+	memMB float64
+	t     *DegreeTable
+
+	// Row minima over the full degree range (hence lower bounds for any
+	// restricted range too):
+	minET      float64 // min ET(P): lower bound on every quantile-service value
+	minService float64 // min total service (the q=100 column)
+	minExpense float64 // min expense
+}
+
+// NewGridTable validates the grid and concurrency and builds the per-size
+// tables in one pass.
+func NewGridTable(g GridModels, c int) (*GridTable, error) {
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	if c < 1 {
+		return nil, fmt.Errorf("core: concurrency %d < 1", c)
+	}
+	return newGridTable(g, c), nil
+}
+
+// newGridTable builds without validation (internal callers validate first,
+// preserving each entry point's error order).
+func newGridTable(g GridModels, c int) *GridTable {
+	t := &GridTable{g: g, c: c, sizes: make([]gridSize, len(g.Sizes))}
+	for i, s := range g.Sizes {
+		dt := newDegreeTable(s.Models, c)
+		t.sizes[i] = gridSize{
+			memMB:      s.MemMB,
+			t:          dt,
+			minET:      minOf(dt.et),
+			minService: minOf(dt.service),
+			minExpense: minOf(dt.expense),
+		}
+		if math.IsNaN(t.sizes[i].minExpense) {
+			t.expenseNaN = true
+		}
+	}
+	return t
+}
+
+// Concurrency returns the concurrency level the grid was built for.
+func (t *GridTable) Concurrency() int { return t.c }
+
+// NumSizes returns the number of memory sizes in the grid.
+func (t *GridTable) NumSizes() int { return len(t.sizes) }
+
+// MemMB returns the i-th memory size (ascending).
+func (t *GridTable) MemMB(i int) float64 { return t.sizes[i].memMB }
+
+// Size returns the i-th memory size's DegreeTable, for callers that scan
+// cells themselves (sweeps, the serve daemon's per-size reporting).
+func (t *GridTable) Size(i int) *DegreeTable { return t.sizes[i].t }
+
+// maxDegreeAny is the widest degree range across sizes (sizes are ragged:
+// each has its own feasibility cap).
+func (t *GridTable) maxDegreeAny() int {
+	md := 0
+	for i := range t.sizes {
+		if d := t.sizes[i].t.MaxDegree(); d > md {
+			md = d
+		}
+	}
+	return md
+}
+
+// firstEligible is the default cell when no candidate wins the argmin (all
+// regrets NaN, mirroring argminRegret's best=0 fallback): the first size
+// admitting minDeg, at minDeg.
+func (t *GridTable) firstEligible(minDeg int) (si, deg int) {
+	for i := range t.sizes {
+		if minDeg <= t.sizes[i].t.MaxDegree() {
+			return i, minDeg
+		}
+	}
+	return 0, minDeg // unreachable: callers check minDeg ≤ maxDegreeAny
+}
+
+// argminJointExact is the exhaustive Eq. 7 scan over every (size, degree)
+// cell — the oracle the pruned argminJoint must match on every input, and
+// the fallback it takes on degenerate inputs. Candidates are enumerated
+// size-major (sizes ascending, degrees minDeg..MaxDegree) with first-wins
+// strict-< tie-breaking, so a single-size grid reproduces
+// DegreeTable.argminRegret exactly.
+func (t *GridTable) argminJointExact(q float64, minDeg int, w Weights) (si, deg int) {
+	bestS, bestE := t.jointBaselines(q, minDeg)
+	bestSi, bestDeg, bestVal := -1, 0, math.Inf(1)
+	for i := range t.sizes {
+		dt := t.sizes[i].t
+		if minDeg > dt.MaxDegree() {
+			continue
+		}
+		svc := dt.quantile(q).vals[minDeg-1:]
+		exp := dt.expense[minDeg-1:]
+		for j, s := range svc {
+			dS := (s - bestS) / bestS      // Eq. 5, over the whole grid
+			dE := (exp[j] - bestE) / bestE // Eq. 6, over the whole grid
+			if v := w.Service*dS + w.Expense*dE; v < bestVal {
+				bestSi, bestDeg, bestVal = i, j+minDeg, v
+			}
+		}
+	}
+	if bestSi < 0 {
+		return t.firstEligible(minDeg)
+	}
+	return bestSi, bestDeg
+}
+
+// jointBaselines computes the Eqs. 5–6 baselines over every cell with the
+// exact fold the exhaustive scan implies: initialized from the first
+// candidate, then strict-< comparisons in enumeration order — identical to
+// minOf over the virtual concatenation of rows (including its NaN
+// semantics), and therefore to the 1-D minOf on a single-size grid.
+func (t *GridTable) jointBaselines(q float64, minDeg int) (bestS, bestE float64) {
+	started := false
+	for i := range t.sizes {
+		dt := t.sizes[i].t
+		if minDeg > dt.MaxDegree() {
+			continue
+		}
+		svc := dt.quantile(q).vals[minDeg-1:]
+		exp := dt.expense[minDeg-1:]
+		j := 0
+		if !started {
+			bestS, bestE = svc[0], exp[0]
+			started = true
+			j = 1
+		}
+		for ; j < len(svc); j++ {
+			if svc[j] < bestS {
+				bestS = svc[j]
+			}
+			if exp[j] < bestE {
+				bestE = exp[j]
+			}
+		}
+	}
+	return bestS, bestE
+}
+
+// bestExpense is the exact Eq. 6 baseline over the restricted grid. With
+// the full range and no NaN row minima it folds the cached row minima
+// (grouping a strict-< fold by rows changes nothing when no group's minimum
+// is NaN); a restricted range or a NaN row minimum folds the vectors
+// directly, reproducing the exact scan's comparison chain verbatim.
+func (t *GridTable) bestExpense(minDeg int) float64 {
+	if minDeg == 1 && !t.expenseNaN {
+		best := t.sizes[0].minExpense
+		for i := 1; i < len(t.sizes); i++ {
+			if m := t.sizes[i].minExpense; m < best {
+				best = m
+			}
+		}
+		return best
+	}
+	best, started := math.NaN(), false
+	for i := range t.sizes {
+		dt := t.sizes[i].t
+		if minDeg > dt.MaxDegree() {
+			continue
+		}
+		exp := dt.expense[minDeg-1:]
+		j := 0
+		if !started {
+			best, started = exp[0], true
+			j = 1
+		}
+		for ; j < len(exp); j++ {
+			if exp[j] < best {
+				best = exp[j]
+			}
+		}
+	}
+	return best
+}
+
+// bestServiceAt is the exact Eq. 5 baseline at quantile q over the
+// restricted grid. For q < 100 a size's quantile column is materialized only
+// when its ET row minimum admits an improvement: every quantile value is
+// et + Scaling.At(·) with Scaling clamped ≥ 0, and correctly-rounded
+// addition of a non-negative term never rounds below et, so a row with
+// minET > best cannot contain a smaller value. Service vectors are NaN-free
+// (sums of non-negatives), so the fold's minimum is order-independent and
+// skipping preserves the exact value.
+func (t *GridTable) bestServiceAt(q float64, minDeg int) float64 {
+	if q == 100 && minDeg == 1 {
+		best := t.sizes[0].minService
+		for i := 1; i < len(t.sizes); i++ {
+			if m := t.sizes[i].minService; m < best {
+				best = m
+			}
+		}
+		return best
+	}
+	best, started := math.NaN(), false
+	for i := range t.sizes {
+		gs := &t.sizes[i]
+		if minDeg > gs.t.MaxDegree() {
+			continue
+		}
+		if started && q != 100 && gs.minET > best {
+			continue // every value in this row is ≥ minET > best
+		}
+		svc := gs.t.quantile(q).vals[minDeg-1:]
+		j := 0
+		if !started {
+			best, started = svc[0], true
+			j = 1
+		}
+		for ; j < len(svc); j++ {
+			if svc[j] < best {
+				best = svc[j]
+			}
+		}
+	}
+	return best
+}
+
+// argminJoint is the pruned 2-D Eq. 7 argmin. It returns exactly what
+// argminJointExact returns — pruning only skips work, never changes the
+// answer — at a cost that approaches the 1-D scan when one size dominates:
+//
+//   - The baselines bestS/bestE are exact minima (bestServiceAt
+//     materializes quantile columns only for rows whose minET admits an
+//     improvement).
+//   - A whole memory row is skipped when its cheapest possible regret —
+//     computed from the cached row minima — already exceeds the incumbent:
+//     lb = W_S·(lbS−bestS)/bestS + W_E·(minExpense−bestE)/bestE with
+//     lbS ≤ every service value and minExpense ≤ every expense value in the
+//     row. With bestS, bestE positive finite and W_S, W_E ≥ 0, every
+//     operation in a candidate's regret (subtraction of a constant,
+//     division by a positive constant, multiplication by a non-negative
+//     weight, addition) is monotone under correct rounding, so every
+//     candidate in the row has v ≥ lb > bestVal and would lose the strict-<
+//     comparison anyway. Skipping such a row is therefore exact in float
+//     arithmetic, not just in real arithmetic. Ties are unaffected: a
+//     skipped candidate could at best *equal* the incumbent's value, and
+//     equal-valued later candidates lose under first-wins.
+//   - Degenerate inputs — a non-positive or non-finite baseline (regrets
+//     divide by it) or a negative weight (Weights.Validate admits −1e-9) —
+//     void the monotonicity argument, so the search falls back to the
+//     exhaustive oracle.
+//
+// The first eligible row can never be skipped (lb > +Inf is false), so the
+// incumbent always exists before any skip test can pass.
+func (t *GridTable) argminJoint(q float64, minDeg int, w Weights) (si, deg int) {
+	if w.Service < 0 || w.Expense < 0 {
+		return t.argminJointExact(q, minDeg, w)
+	}
+	bestE := t.bestExpense(minDeg)
+	bestS := t.bestServiceAt(q, minDeg)
+	if !(bestS > 0) || !(bestE > 0) || math.IsInf(bestS, 1) || math.IsInf(bestE, 1) {
+		return t.argminJointExact(q, minDeg, w)
+	}
+	bestSi, bestDeg, bestVal := -1, 0, math.Inf(1)
+	for i := range t.sizes {
+		gs := &t.sizes[i]
+		dt := gs.t
+		if minDeg > dt.MaxDegree() {
+			continue
+		}
+		lbS := gs.minService
+		if q != 100 {
+			lbS = gs.minET
+		}
+		lb := w.Service*((lbS-bestS)/bestS) + w.Expense*((gs.minExpense-bestE)/bestE)
+		if lb > bestVal {
+			continue // no cell in this row can beat the incumbent
+		}
+		svc := dt.quantile(q).vals[minDeg-1:]
+		exp := dt.expense[minDeg-1:]
+		for j, s := range svc {
+			dS := (s - bestS) / bestS
+			dE := (exp[j] - bestE) / bestE
+			if v := w.Service*dS + w.Expense*dE; v < bestVal {
+				bestSi, bestDeg, bestVal = i, j+minDeg, v
+			}
+		}
+	}
+	if bestSi < 0 {
+		return t.firstEligible(minDeg)
+	}
+	return bestSi, bestDeg
+}
+
+// argminService is the joint Eq. 3 argmin (first-wins across the size-major
+// enumeration; a single-size grid matches argminVec exactly).
+func (t *GridTable) argminService() (si, deg int) {
+	return t.argminColumnJoint(func(gs *gridSize) []float64 { return gs.t.service })
+}
+
+// argminExpense is the joint Eq. 4 argmin.
+func (t *GridTable) argminExpense() (si, deg int) {
+	return t.argminColumnJoint(func(gs *gridSize) []float64 { return gs.t.expense })
+}
+
+func (t *GridTable) argminColumnJoint(col func(*gridSize) []float64) (si, deg int) {
+	bestSi, bestDeg, bestVal := 0, 1, col(&t.sizes[0])[0]
+	for i := range t.sizes {
+		vals := col(&t.sizes[i])
+		for j, v := range vals {
+			if i == 0 && j == 0 {
+				continue
+			}
+			if v < bestVal {
+				bestSi, bestDeg, bestVal = i, j+1, v
+			}
+		}
+	}
+	return bestSi, bestDeg
+}
+
+// constrainedJoint is the joint Eq. 7 argmin restricted to cells whose
+// instance count stays within maxInstances, mirroring constrainedOn (the
+// infeasibility error quotes the widest degree range across sizes, which on
+// a single-size grid is the 1-D error verbatim).
+func (t *GridTable) constrainedJoint(w Weights, maxInstances int) (si, deg int, err error) {
+	minDegree := 1
+	if maxInstances > 0 {
+		minDegree = (t.c + maxInstances - 1) / maxInstances
+		if minDegree > t.maxDegreeAny() {
+			return 0, 0, fmt.Errorf("core: concurrency %d cannot fit %d instances even at degree %d",
+				t.c, maxInstances, t.maxDegreeAny())
+		}
+	}
+	si, deg = t.argminJoint(100, minDegree, w)
+	return si, deg, nil
+}
+
+// plan materializes the JointPlan for a chosen cell. The baseline is
+// degree 1 at the grid's largest size — the conventional untuned deployment
+// — which on a single-size grid collapses to DegreeTable.plan's baseline.
+func (t *GridTable) plan(si, deg int, w Weights) JointPlan {
+	base := t.sizes[len(t.sizes)-1].t
+	cell := t.sizes[si].t
+	return JointPlan{
+		Plan: Plan{
+			Concurrency:         t.c,
+			Degree:              deg,
+			Weights:             w,
+			PredictedServiceSec: cell.service[deg-1],
+			PredictedExpenseUSD: cell.expense[deg-1],
+			BaselineServiceSec:  base.service[0],
+			BaselineExpenseUSD:  base.expense[0],
+		},
+		MemMB: t.sizes[si].memMB,
+	}
+}
+
+// --- qosSearchJoint ----------------------------------------------------------
+
+// qosSearchJoint is qosSearch generalized to the grid: the same Sec. 2.6
+// smallest-feasible-W_S search, with each weight step's argmin taken over
+// (size, degree) cells. It is a deliberate structural mirror of the 1-D
+// qosSearch rather than a refactor of it — the 1-D path stays untouched —
+// and on a single-size grid every step evaluates identically, errors
+// included. The same pruning applies:
+//
+//   - Infeasibility floor: every grid point's tail is the tail at *some*
+//     cell, so if no cell at all meets the bound the search is infeasible.
+//   - Prefix certificate: the scalarization exchange argument holds for any
+//     finite candidate set, so the total-service regret dS at the joint
+//     argmin is non-increasing in W_S, and a prefix whose certified
+//     candidate set contains no feasible cell is infeasible wholesale. The
+//     threshold carries the same conservative float slack; certification
+//     failure falls back to the plain left-to-right grid scan.
+func qosSearchJoint(t *GridTable, qosSec, tailQ, step float64) (Weights, error) {
+	infeasible := func() (Weights, error) {
+		return Weights{}, fmt.Errorf("%w: bound %.3gs at concurrency %d", ErrQoSInfeasible, qosSec, t.c)
+	}
+	// Infeasibility floor: no cell meets the bound, so no weighting can.
+	if t.bestServiceAt(tailQ, 1) > qosSec {
+		return infeasible()
+	}
+
+	n := qosGridSize(step)
+	sis := make([]int, n)
+	degs := make([]int, n) // 0 = unevaluated (degrees are ≥ 1)
+	pick := func(j int) (int, int) {
+		if degs[j] == 0 {
+			sis[j], degs[j] = t.argminJoint(100, 1, qosWeightAt(j, n, step))
+		}
+		return sis[j], degs[j]
+	}
+	feasible := func(j int) bool {
+		si, deg := pick(j)
+		return t.sizes[si].t.quantile(tailQ).vals[deg-1] <= qosSec
+	}
+
+	if feasible(0) {
+		return qosWeightAt(0, n, step), nil
+	}
+
+	// prefixInfeasible certifies that every grid index in [0, j] fails the
+	// bound: all their argmins have total-service regret ≥ dS(argmin_j), and
+	// no such cell's tail meets the bound.
+	bestS := t.bestServiceAt(100, 1)
+	dS := func(si, i int) float64 { return (t.sizes[si].t.service[i] - bestS) / bestS }
+	prefixInfeasible := func(j int) bool {
+		sj, dj := pick(j)
+		thr := dS(sj, dj-1)
+		thr -= 1e-12 * (1 + math.Abs(thr)) // conservative float slack
+		for si := range t.sizes {
+			tail := t.sizes[si].t.quantile(tailQ).vals
+			for i := range tail {
+				if dS(si, i) >= thr && tail[i] <= qosSec {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	// gridScan is the guaranteed-identical fallback: the naive left-to-right
+	// search over the same memoized evaluations.
+	gridScan := func() (Weights, error) {
+		for j := 0; j < n; j++ {
+			if feasible(j) {
+				return qosWeightAt(j, n, step), nil
+			}
+		}
+		return infeasible()
+	}
+
+	if !feasible(n - 1) {
+		if prefixInfeasible(n - 1) {
+			return infeasible()
+		}
+		return gridScan()
+	}
+
+	// Binary search for the feasibility boundary: lo infeasible, hi feasible.
+	lo, hi := 0, n-1
+	for hi-lo > 1 {
+		mid := (lo + hi) / 2
+		if feasible(mid) {
+			hi = mid
+		} else {
+			lo = mid
+		}
+	}
+	if prefixInfeasible(hi - 1) {
+		return qosWeightAt(hi, n, step), nil
+	}
+	return gridScan()
+}
+
+// --- GridModels entry points -------------------------------------------------
+
+// OptimalConfig is the joint Eq. 7 argmin at service quantile q: the
+// (degree, memory size) cell minimizing the weighted regret sum, with the
+// Eqs. 5–6 baselines taken over the whole grid.
+func (g GridModels) OptimalConfig(c int, q float64, w Weights) (JointConfig, error) {
+	if err := g.Validate(); err != nil {
+		return JointConfig{}, err
+	}
+	if err := w.Validate(); err != nil {
+		return JointConfig{}, err
+	}
+	if c < 1 {
+		return JointConfig{}, fmt.Errorf("core: concurrency %d < 1", c)
+	}
+	if q <= 0 || q > 100 {
+		return JointConfig{}, fmt.Errorf("core: quantile %g outside (0,100]", q)
+	}
+	t := newGridTable(g, c)
+	si, deg := t.argminJoint(q, 1, w)
+	return JointConfig{Degree: deg, MemMB: t.sizes[si].memMB}, nil
+}
+
+// OptimalConfigService is the joint Eq. 3 argmin: the cell minimizing
+// modeled total service time.
+func (g GridModels) OptimalConfigService(c int) JointConfig {
+	t := newGridTable(g, c)
+	si, deg := t.argminService()
+	return JointConfig{Degree: deg, MemMB: t.sizes[si].memMB}
+}
+
+// OptimalConfigExpense is the joint Eq. 4 argmin: the cell minimizing
+// modeled expense.
+func (g GridModels) OptimalConfigExpense(c int) JointConfig {
+	t := newGridTable(g, c)
+	si, deg := t.argminExpense()
+	return JointConfig{Degree: deg, MemMB: t.sizes[si].memMB}
+}
+
+// OptimalConfigConstrained is OptimalConfig restricted to cells whose
+// instance count stays within maxInstances. maxInstances ≤ 0 means
+// unconstrained.
+func (g GridModels) OptimalConfigConstrained(c int, w Weights, maxInstances int) (JointConfig, error) {
+	if err := g.Validate(); err != nil {
+		return JointConfig{}, err
+	}
+	if err := w.Validate(); err != nil {
+		return JointConfig{}, err
+	}
+	if c < 1 {
+		return JointConfig{}, fmt.Errorf("core: concurrency %d < 1", c)
+	}
+	t := newGridTable(g, c)
+	si, deg, err := t.constrainedJoint(w, maxInstances)
+	if err != nil {
+		return JointConfig{}, err
+	}
+	return JointConfig{Degree: deg, MemMB: t.sizes[si].memMB}, nil
+}
+
+// PlanJointFor computes the full joint recommendation at concurrency c.
+func (g GridModels) PlanJointFor(c int, w Weights) (JointPlan, error) {
+	if err := g.Validate(); err != nil {
+		return JointPlan{}, err
+	}
+	if err := w.Validate(); err != nil {
+		return JointPlan{}, err
+	}
+	if c < 1 {
+		return JointPlan{}, fmt.Errorf("core: concurrency %d < 1", c)
+	}
+	t := newGridTable(g, c)
+	si, deg := t.argminJoint(100, 1, w)
+	return t.plan(si, deg, w), nil
+}
+
+// QoSWeightsJoint is Eq. 9 over the grid: the smallest W_S whose joint
+// recommendation keeps the modeled tail service time within qosSec.
+func (g GridModels) QoSWeightsJoint(c int, qosSec float64, opts QoSOptions) (Weights, error) {
+	tailQ, step, err := opts.normalize(qosSec)
+	if err != nil {
+		return Weights{}, err
+	}
+	if err := g.Validate(); err != nil {
+		return Weights{}, err
+	}
+	if c < 1 {
+		return Weights{}, fmt.Errorf("core: concurrency %d < 1", c)
+	}
+	return qosSearchJoint(newGridTable(g, c), qosSec, tailQ, step)
+}
+
+// QoSPlanJoint recommends a (degree, memory size) cell that jointly
+// optimizes service time and expense while keeping the modeled tail latency
+// within qosSec. The weight search and the final plan share one grid table.
+func (g GridModels) QoSPlanJoint(c int, qosSec float64, opts QoSOptions) (JointPlan, Weights, error) {
+	tailQ, step, err := opts.normalize(qosSec)
+	if err != nil {
+		return JointPlan{}, Weights{}, err
+	}
+	if err := g.Validate(); err != nil {
+		return JointPlan{}, Weights{}, err
+	}
+	if c < 1 {
+		return JointPlan{}, Weights{}, fmt.Errorf("core: concurrency %d < 1", c)
+	}
+	t := newGridTable(g, c)
+	w, err := qosSearchJoint(t, qosSec, tailQ, step)
+	if err != nil {
+		return JointPlan{}, Weights{}, err
+	}
+	si, deg := t.argminJoint(100, 1, w)
+	return t.plan(si, deg, w), w, nil
+}
+
+// --- GridCache and the joint Planner -----------------------------------------
+
+// ErrNoGrid is returned by a Planner's joint entry points when the planner
+// was built without a memory grid (NewPlanner instead of NewJointPlanner).
+var ErrNoGrid = errors.New("core: planner has no memory grid")
+
+// GridCache memoizes GridTables for one fixed GridModels value across
+// concurrency levels — the joint planner's analogue of TableCache, sharing
+// its sharded lock-free machinery (cache.go): hits are allocation-free and
+// never serialize, misses coalesce so each table builds exactly once, and
+// eviction is LRU. Keyed by (Models set, C): the grid is fixed per cache,
+// concurrency is the key.
+type GridCache struct {
+	g  GridModels
+	sc *shardedCache[GridTable]
+}
+
+// NewGridCache builds a cache for the grid. capacity ≤ 0 means the default
+// (64 concurrency levels).
+func NewGridCache(g GridModels, capacity int) *GridCache {
+	if capacity <= 0 {
+		capacity = defaultTableCap
+	}
+	gc := &GridCache{g: g}
+	gc.sc = newShardedCache(capacity, func(c int) *GridTable { return newGridTable(g, c) })
+	return gc
+}
+
+// Table returns the (possibly cached) grid table for concurrency c,
+// validating inputs exactly as NewGridTable does.
+func (gc *GridCache) Table(c int) (*GridTable, error) {
+	if err := gc.g.Validate(); err != nil {
+		return nil, err
+	}
+	if c < 1 {
+		return nil, fmt.Errorf("core: concurrency %d < 1", c)
+	}
+	return gc.sc.get(c), nil
+}
+
+// Len reports the number of cached grid tables.
+func (gc *GridCache) Len() int { return gc.sc.len() }
+
+// Builds reports how many grid tables the cache has constructed since
+// creation (singleflight audit, like TableCache.Builds).
+func (gc *GridCache) Builds() uint64 { return gc.sc.builds.Load() }
+
+// NewJointPlanner builds a planner over a memory-size grid: the joint entry
+// points plan over every (degree, size) cell, and the 1-D entry points keep
+// working against the grid's largest (base) size — the conventional
+// deployment the joint plans are baselined against.
+func NewJointPlanner(g GridModels) (*Planner, error) {
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	base := g.Base()
+	return &Planner{m: base, cache: NewTableCache(base, 0), grid: NewGridCache(g, 0)}, nil
+}
+
+// Grid returns the planner's memory grid, if it has one.
+func (pl *Planner) Grid() (GridModels, bool) {
+	if pl.grid == nil {
+		return GridModels{}, false
+	}
+	return pl.grid.g, true
+}
+
+// GridTable exposes the cached grid table for concurrency c, for callers
+// that scan cells themselves (per-size sweeps, the serve daemon's joint
+// endpoint). It shares the planner's cache and singleflight.
+func (pl *Planner) GridTable(c int) (*GridTable, error) {
+	if pl.grid == nil {
+		return nil, ErrNoGrid
+	}
+	return pl.grid.Table(c)
+}
+
+// gridTable validates weights alongside the cached grid lookup, mirroring
+// the GridModels entry points' validation order (grid, weights, then
+// concurrency out of the cache's checks).
+func (pl *Planner) gridTable(c int, w Weights) (*GridTable, error) {
+	if pl.grid == nil {
+		return nil, ErrNoGrid
+	}
+	if err := pl.grid.g.Validate(); err != nil {
+		return nil, err
+	}
+	if err := w.Validate(); err != nil {
+		return nil, err
+	}
+	return pl.grid.Table(c)
+}
+
+// OptimalConfig is the cached GridModels.OptimalConfig.
+func (pl *Planner) OptimalConfig(c int, q float64, w Weights) (JointConfig, error) {
+	t, err := pl.gridTable(c, w)
+	if err != nil {
+		return JointConfig{}, err
+	}
+	if q <= 0 || q > 100 {
+		return JointConfig{}, fmt.Errorf("core: quantile %g outside (0,100]", q)
+	}
+	si, deg := t.argminJoint(q, 1, w)
+	return JointConfig{Degree: deg, MemMB: t.sizes[si].memMB}, nil
+}
+
+// OptimalConfigConstrained is the cached GridModels.OptimalConfigConstrained.
+func (pl *Planner) OptimalConfigConstrained(c int, w Weights, maxInstances int) (JointConfig, error) {
+	t, err := pl.gridTable(c, w)
+	if err != nil {
+		return JointConfig{}, err
+	}
+	si, deg, err := t.constrainedJoint(w, maxInstances)
+	if err != nil {
+		return JointConfig{}, err
+	}
+	return JointConfig{Degree: deg, MemMB: t.sizes[si].memMB}, nil
+}
+
+// PlanJointFor is the cached GridModels.PlanJointFor.
+func (pl *Planner) PlanJointFor(c int, w Weights) (JointPlan, error) {
+	t, err := pl.gridTable(c, w)
+	if err != nil {
+		return JointPlan{}, err
+	}
+	si, deg := t.argminJoint(100, 1, w)
+	return t.plan(si, deg, w), nil
+}
+
+// QoSPlanJoint is the cached GridModels.QoSPlanJoint.
+func (pl *Planner) QoSPlanJoint(c int, qosSec float64, opts QoSOptions) (JointPlan, Weights, error) {
+	if pl.grid == nil {
+		return JointPlan{}, Weights{}, ErrNoGrid
+	}
+	tailQ, step, err := opts.normalize(qosSec)
+	if err != nil {
+		return JointPlan{}, Weights{}, err
+	}
+	t, err := pl.grid.Table(c)
+	if err != nil {
+		return JointPlan{}, Weights{}, err
+	}
+	w, err := qosSearchJoint(t, qosSec, tailQ, step)
+	if err != nil {
+		return JointPlan{}, Weights{}, err
+	}
+	si, deg := t.argminJoint(100, 1, w)
+	return t.plan(si, deg, w), w, nil
+}
+
+// --- Grid profiling ----------------------------------------------------------
+
+// SizeProbe is one memory size's probing setup: a measurer against the
+// platform resized to that memory (CPU share scales with it) and the
+// profile options derived at that size (per-size MaxDegree and expense
+// rate). Build them with GridProbesFor for the simulator, or assemble them
+// around live measurers.
+type SizeProbe struct {
+	MemMB float64
+	Meas  Measurer
+	Opts  ProfileOptions
+}
+
+// BuildGridModels runs the modeling pipeline once per memory size and
+// assembles the grid: each size gets its own interference train (per-size α
+// — CPU share differs per size, so interference does too) and storage fit
+// via the existing FitET/FitStorage machinery, while all sizes share one
+// scaling probe schedule — scaling time is a platform property, probed once
+// at the largest (base) size and fitted once (Sec. 2.2: the probe runs no
+// application code, so it cannot depend on the function's size either).
+// Probes must be in strictly increasing memory order; fit failures name the
+// offending memory size (unwrap to stats.ErrNonFinite and friends).
+func BuildGridModels(probes []SizeProbe) (GridModels, Overhead, error) {
+	var ov Overhead
+	if len(probes) == 0 {
+		return GridModels{}, ov, fmt.Errorf("core: empty memory size grid")
+	}
+	for i, sp := range probes {
+		if sp.MemMB <= 0 {
+			return GridModels{}, ov, fmt.Errorf("core: non-positive memory size %g MB", sp.MemMB)
+		}
+		if i > 0 && sp.MemMB <= probes[i-1].MemMB {
+			return GridModels{}, ov, fmt.Errorf("%w: %g MB after %g MB", ErrNonMonotoneSizes, sp.MemMB, probes[i-1].MemMB)
+		}
+	}
+	g := GridModels{Sizes: make([]SizeModels, 0, len(probes))}
+	for _, sp := range probes {
+		m, err := buildSizeModels(sp, &ov)
+		if err != nil {
+			return GridModels{}, ov, fmt.Errorf("core: memory size %g MB: %w", sp.MemMB, err)
+		}
+		g.Sizes = append(g.Sizes, SizeModels{MemMB: sp.MemMB, Models: m})
+	}
+
+	// One scaling schedule for the whole grid, probed at the base size.
+	base := probes[len(probes)-1]
+	scProbes := base.Opts.ScalingProbes
+	if scProbes == nil {
+		scProbes = DefaultScalingProbes()
+	}
+	_, concurrent := base.Meas.(ConcurrentMeasurer)
+	scSamples, err := probeScaling(base.Meas, concurrent, scProbes, base.Opts, &ov)
+	if err != nil {
+		return GridModels{}, ov, fmt.Errorf("core: memory size %g MB: %w", base.MemMB, err)
+	}
+	scModel, err := FitScaling(scSamples)
+	if err != nil {
+		return GridModels{}, ov, fmt.Errorf("core: memory size %g MB: %w", base.MemMB, err)
+	}
+	for i := range g.Sizes {
+		g.Sizes[i].Models.Scaling = scModel
+	}
+	if err := g.Validate(); err != nil {
+		return GridModels{}, ov, err
+	}
+	return g, ov, nil
+}
+
+// buildSizeModels is the per-size half of BuildModels: the interference
+// train plus the Eq. 1 and storage fits, leaving Scaling to the shared fit.
+func buildSizeModels(sp SizeProbe, ov *Overhead) (Models, error) {
+	opts := sp.Opts
+	if opts.MaxDegree < 1 {
+		return Models{}, fmt.Errorf("core: profile needs MaxDegree ≥ 1, have %d", opts.MaxDegree)
+	}
+	if opts.MfuncGB <= 0 {
+		return Models{}, fmt.Errorf("core: profile needs MfuncGB > 0, have %g", opts.MfuncGB)
+	}
+	if opts.RatePerInstanceSec < 0 {
+		return Models{}, fmt.Errorf("core: negative expense rate")
+	}
+	degrees := SampleDegrees(opts.MaxDegree)
+	if opts.FullSweep {
+		degrees = degrees[:0]
+		for d := 1; d <= opts.MaxDegree; d++ {
+			degrees = append(degrees, d)
+		}
+	}
+	trials := opts.Trials
+	if trials == 0 {
+		trials = 3
+	}
+	if trials < 1 {
+		return Models{}, fmt.Errorf("core: probe trials must be ≥1, have %d", trials)
+	}
+	_, hasCost := sp.Meas.(CostMeasurer)
+	var (
+		etSamples   []ETSample
+		costSamples []CostSample
+		maxFeasible int
+		err         error
+	)
+	if cm, ok := sp.Meas.(ConcurrentMeasurer); ok {
+		etSamples, costSamples, maxFeasible, err = probeExecConcurrent(cm, hasCost, degrees, trials, opts, ov)
+	} else {
+		etSamples, costSamples, maxFeasible, err = probeExecSequential(sp.Meas, hasCost, degrees, trials, opts, ov)
+	}
+	if err != nil {
+		return Models{}, err
+	}
+	if maxFeasible < 1 {
+		return Models{}, fmt.Errorf("core: application infeasible even unpacked: %w", ErrDegreeInfeasible)
+	}
+	etModel, err := FitET(etSamples, opts.MfuncGB, opts.FitET)
+	if err != nil {
+		if errors.Is(err, stats.ErrNonFinite) {
+			return Models{}, fmt.Errorf("core: fitting Eq. 1 from %d probes: %w", len(etSamples), err)
+		}
+		return Models{}, err
+	}
+	storageModel, err := FitStorage(costSamples)
+	if err != nil {
+		return Models{}, err
+	}
+	return Models{
+		ET:                 etModel,
+		Storage:            storageModel,
+		RatePerInstanceSec: opts.RatePerInstanceSec,
+		MaxDegree:          maxFeasible,
+	}, nil
+}

@@ -109,3 +109,37 @@ func ProfileOptionsFor(cfg platform.Config, d interfere.Demand) ProfileOptions {
 		RatePerInstanceSec: cfg.MemoryGB() * cfg.GBSecondUSD,
 	}
 }
+
+// GridProbesFor derives the per-size probing setups BuildGridModels needs
+// for an application demand across platform memory sizes: each size resizes
+// the platform with WithMemory (CPU share and memory bandwidth scale with
+// purchased memory, exactly Lambda's coupling) and derives its own
+// ProfileOptions there — per-size MaxDegree (fewer functions fit a smaller
+// instance) and per-size expense rate (smaller instances bill less per
+// second). Sizes must be strictly increasing and small enough that the
+// demand still fits (MaxDegree ≥ 1).
+func GridProbesFor(cfg platform.Config, d interfere.Demand, sizesMB []float64, seed int64) ([]SizeProbe, error) {
+	if len(sizesMB) == 0 {
+		return nil, fmt.Errorf("core: empty memory size grid")
+	}
+	probes := make([]SizeProbe, 0, len(sizesMB))
+	for i, mb := range sizesMB {
+		if i > 0 && mb <= sizesMB[i-1] {
+			return nil, fmt.Errorf("%w: %g MB after %g MB", ErrNonMonotoneSizes, mb, sizesMB[i-1])
+		}
+		scfg, err := cfg.WithMemory(mb)
+		if err != nil {
+			return nil, fmt.Errorf("core: memory size %g MB: %w", mb, err)
+		}
+		opts := ProfileOptionsFor(scfg, d)
+		if opts.MaxDegree < 1 {
+			return nil, fmt.Errorf("core: memory size %g MB cannot fit the %g MB demand", mb, d.MemoryMB)
+		}
+		probes = append(probes, SizeProbe{
+			MemMB: mb,
+			Meas:  &SimMeasurer{Config: scfg, Demand: d, Seed: seed},
+			Opts:  opts,
+		})
+	}
+	return probes, nil
+}

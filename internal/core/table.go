@@ -4,7 +4,6 @@ import (
 	"fmt"
 	"math"
 	"sync"
-	"sync/atomic"
 )
 
 // The amortized planner hot path. Every Eq. 5–7 entry point needs the same
@@ -189,47 +188,18 @@ func (t *DegreeTable) plan(deg int, w Weights) Plan {
 // set of concurrency levels, and one table is O(MaxDegree) floats.
 const defaultTableCap = 64
 
-// tableShards is the shard count for caches large enough to split. Sixteen
-// shards keep write contention negligible for any realistic core count
-// while staying small enough that the default capacity still gives each
-// shard a useful LRU window.
-const tableShards = 16
-
 // TableCache memoizes DegreeTables for one fixed Models value across
 // concurrency levels, evicting least-recently-used entries beyond its
 // capacity. Safe for concurrent use; the concurrent-serving path is lock
-// free. A hit loads an immutable map snapshot published with an atomic
-// pointer and bumps the entry's recency stamp with an atomic store — no
-// mutex, so concurrent Advise/QoSPlan callers on distinct cores never
-// serialize. Misses take a per-shard mutex only to install a placeholder;
-// the table itself is built outside every lock, and concurrent requests for
-// the same concurrency coalesce on the placeholder (singleflight) so a
-// stampede builds each table exactly once.
-//
-// Capacity is apportioned across shards, so with more than one shard
-// eviction is least-recently-used per shard rather than globally — a cache
-// at least as large (shards round the per-shard capacity up) with the same
-// hit behaviour on sweep-style reuse. Small capacities (< 2·tableShards)
-// keep a single shard and therefore exact global LRU order.
+// free (see shardedCache in cache.go, which holds the machinery shared with
+// the joint planner's GridCache): a hit loads an immutable map snapshot
+// through an atomic pointer — no mutex, so concurrent Advise/QoSPlan
+// callers on distinct cores never serialize — misses build outside every
+// lock with singleflight coalescing, and eviction is LRU per shard (exact
+// global LRU below 2·16 capacity, where a single shard is kept).
 type TableCache struct {
-	m      Models
-	shards []tableShard
-	tick   atomic.Uint64 // global recency clock, shared by all shards
-	builds atomic.Uint64 // tables actually constructed (singleflight audit)
-}
-
-type tableShard struct {
-	read atomic.Pointer[map[int]*cacheEntry] // immutable snapshot; copy-on-write
-	mu   sync.Mutex                          // guards snapshot replacement
-	cap  int
-}
-
-// cacheEntry is one cached (or in-flight) table. ready is closed once t is
-// set; hitters on an in-flight entry wait on it instead of rebuilding.
-type cacheEntry struct {
-	used  atomic.Uint64
-	ready chan struct{}
-	t     atomic.Pointer[DegreeTable]
+	m  Models
+	sc *shardedCache[DegreeTable]
 }
 
 // NewTableCache builds a cache for the models. capacity ≤ 0 means the
@@ -238,32 +208,9 @@ func NewTableCache(m Models, capacity int) *TableCache {
 	if capacity <= 0 {
 		capacity = defaultTableCap
 	}
-	n := tableShards
-	if capacity < 2*tableShards {
-		n = 1 // too small to split: keep exact global LRU
-	}
-	tc := &TableCache{m: m, shards: make([]tableShard, n)}
-	perShard := (capacity + n - 1) / n
-	for i := range tc.shards {
-		tc.shards[i].cap = perShard
-		empty := make(map[int]*cacheEntry)
-		tc.shards[i].read.Store(&empty)
-	}
+	tc := &TableCache{m: m}
+	tc.sc = newShardedCache(capacity, func(c int) *DegreeTable { return newDegreeTable(m, c) })
 	return tc
-}
-
-// shardOf maps a concurrency level to its shard via SplitMix64-style
-// mixing, so arithmetic sweeps (100, 200, 300, …) spread instead of
-// clustering.
-func (tc *TableCache) shardOf(c int) *tableShard {
-	if len(tc.shards) == 1 {
-		return &tc.shards[0]
-	}
-	z := uint64(c) + 0x9e3779b97f4a7c15
-	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
-	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
-	z ^= z >> 31
-	return &tc.shards[z%uint64(len(tc.shards))]
 }
 
 // Table returns the (possibly cached) table for concurrency c, validating
@@ -275,70 +222,17 @@ func (tc *TableCache) Table(c int) (*DegreeTable, error) {
 	if c < 1 {
 		return nil, fmt.Errorf("core: concurrency %d < 1", c)
 	}
-	sh := tc.shardOf(c)
-	if e, ok := (*sh.read.Load())[c]; ok {
-		return tc.hit(e), nil
-	}
-	sh.mu.Lock()
-	snap := *sh.read.Load()
-	if e, ok := snap[c]; ok {
-		sh.mu.Unlock()
-		return tc.hit(e), nil
-	}
-	// Install an in-flight placeholder in a fresh snapshot, then build the
-	// table outside the lock so other shard keys proceed undisturbed and
-	// same-key callers coalesce on the placeholder.
-	e := &cacheEntry{ready: make(chan struct{})}
-	e.used.Store(tc.tick.Add(1))
-	next := make(map[int]*cacheEntry, len(snap)+1)
-	for k, v := range snap {
-		next[k] = v
-	}
-	if len(next) >= sh.cap {
-		evict, oldest := 0, uint64(math.MaxUint64)
-		for k, v := range next {
-			if u := v.used.Load(); u < oldest {
-				evict, oldest = k, u
-			}
-		}
-		delete(next, evict)
-	}
-	next[c] = e
-	sh.read.Store(&next)
-	sh.mu.Unlock()
-
-	t := newDegreeTable(tc.m, c)
-	tc.builds.Add(1)
-	e.t.Store(t)
-	close(e.ready)
-	return t, nil
-}
-
-// hit bumps an entry's recency and returns its table, waiting out an
-// in-flight build if necessary.
-func (tc *TableCache) hit(e *cacheEntry) *DegreeTable {
-	e.used.Store(tc.tick.Add(1))
-	if t := e.t.Load(); t != nil {
-		return t
-	}
-	<-e.ready
-	return e.t.Load()
+	return tc.sc.get(c), nil
 }
 
 // Len reports the number of cached tables (for tests and diagnostics).
-func (tc *TableCache) Len() int {
-	n := 0
-	for i := range tc.shards {
-		n += len(*tc.shards[i].read.Load())
-	}
-	return n
-}
+func (tc *TableCache) Len() int { return tc.sc.len() }
 
 // Builds reports how many tables the cache has constructed since creation.
 // With singleflight coalescing it equals the number of distinct concurrency
 // levels requested (absent evictions) no matter how many goroutines raced —
 // the concurrency stress tests assert exactly that.
-func (tc *TableCache) Builds() uint64 { return tc.builds.Load() }
+func (tc *TableCache) Builds() uint64 { return tc.sc.builds.Load() }
 
 // --- Planner -----------------------------------------------------------------
 
@@ -347,9 +241,16 @@ func (tc *TableCache) Builds() uint64 { return tc.builds.Load() }
 // one DegreeTable instead of rebuilding the model vectors. Every method
 // returns bit-identical results to the corresponding Models method; the
 // only difference is amortization. Safe for concurrent use.
+//
+// A planner built with NewJointPlanner additionally carries a memory-size
+// grid and answers the joint (degree × memory) entry points — OptimalConfig,
+// PlanJointFor, QoSPlanJoint — from a GridCache with the same lock-free
+// 0-alloc cached-hit path; its 1-D methods keep working against the grid's
+// largest (base) size.
 type Planner struct {
 	m     Models
 	cache *TableCache
+	grid  *GridCache // nil unless built with NewJointPlanner
 }
 
 // NewPlanner builds a planner with the default cache capacity.

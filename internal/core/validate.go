@@ -1,10 +1,39 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 
 	"repro/internal/stats"
 )
+
+// ErrNonMonotoneSizes is returned when a memory-size grid is not strictly
+// increasing. The joint planner's row bounds, the baseline convention
+// (largest size last), and the probe schedule all assume an ordered grid,
+// so a shuffled or duplicated grid is rejected up front rather than
+// silently producing a misbaselined plan.
+var ErrNonMonotoneSizes = errors.New("core: memory size grid not strictly increasing")
+
+// Validate reports an error if the grid cannot be planned over: it must be
+// non-empty, strictly increasing in memory size, and every size's models
+// must validate (errors name the offending size).
+func (g GridModels) Validate() error {
+	if len(g.Sizes) == 0 {
+		return fmt.Errorf("core: empty memory size grid")
+	}
+	for i, s := range g.Sizes {
+		if s.MemMB <= 0 {
+			return fmt.Errorf("core: non-positive memory size %g MB", s.MemMB)
+		}
+		if i > 0 && s.MemMB <= g.Sizes[i-1].MemMB {
+			return fmt.Errorf("%w: %g MB after %g MB", ErrNonMonotoneSizes, s.MemMB, g.Sizes[i-1].MemMB)
+		}
+		if err := s.Models.Validate(); err != nil {
+			return fmt.Errorf("core: memory size %g MB: %w", s.MemMB, err)
+		}
+	}
+	return nil
+}
 
 // The paper's validation setup (Sec. 2.4): 14 degrees of freedom (15 − 1,
 // from the Sort application's 15 packing degrees — the smallest maximum in

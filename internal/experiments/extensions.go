@@ -118,6 +118,88 @@ func ExtProvider(cfg Config) (*trace.Table, error) {
 	return t, nil
 }
 
+// ExtJoint exercises the joint (degree × memory) planner: one model stack
+// per memory size on AWS Lambda's sizing curve, the weight sweep showing
+// where the 2-D argmin leaves the biggest instance for a smaller one, and
+// the Sec. 2.4 χ² validation of every per-size stack against observed runs
+// at that size (cfg.WithMemory resizes compute the way Lambda does).
+func ExtJoint(cfg Config) (*trace.Table, error) {
+	t := &trace.Table{
+		Title:  "Extension: joint degree × memory planning — weight sweep and per-size χ² validation",
+		Header: []string{"mem", "quantity", "value", "verdict"},
+	}
+	p := platform.AWSLambda()
+	w := workload.Video{}
+	sizes := []float64{4096, 6144, 8192, 10240}
+	if cfg.Quick {
+		sizes = []float64{5120, 10240}
+	}
+	probes, err := core.GridProbesFor(p, w.Demand(), sizes, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	grid, _, err := core.BuildGridModels(probes)
+	if err != nil {
+		return nil, err
+	}
+	c := cfg.topConcurrency()
+	for _, ws := range []float64{0, 0.25, 0.5, 0.75, 1} {
+		plan, err := grid.PlanJointFor(c, core.Weights{Service: ws, Expense: 1 - ws})
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(fmt.Sprintf("%.0fMB", plan.MemMB),
+			fmt.Sprintf("plan W_S=%.2f at C=%d", ws, c),
+			fmt.Sprintf("degree %d, %s, %s", plan.Degree,
+				sec(plan.PredictedServiceSec), usd(plan.PredictedExpenseUSD)), "—")
+	}
+	vc := cfg.midConcurrency()
+	rows, err := forAll(cfg, len(grid.Sizes), func(i int) ([][]string, error) {
+		s := grid.Sizes[i]
+		sized, err := p.WithMemory(s.MemMB)
+		if err != nil {
+			return nil, err
+		}
+		var obs []core.Observation
+		for _, deg := range core.SampleDegrees(s.Models.MaxDegree) {
+			res, err := platform.Run(sized, platform.Burst{
+				Demand: w.Demand(), Functions: vc, Degree: deg, Seed: cfg.Seed + 101,
+			})
+			if err != nil {
+				break
+			}
+			obs = append(obs, core.Observation{
+				Degree:     deg,
+				ServiceSec: res.TotalServiceTime(),
+				ExpenseUSD: res.ExpenseUSD(),
+			})
+		}
+		sv, ev, err := s.Models.ValidateModels(vc, obs, core.PaperValidationDF)
+		if err != nil {
+			return nil, err
+		}
+		var out [][]string
+		for _, v := range []core.Validation{sv, ev} {
+			verdict := "ACCEPT"
+			if !v.Accepted {
+				verdict = "REJECT"
+			}
+			out = append(out, []string{fmt.Sprintf("%.0fMB", s.MemMB), v.Quantity + " χ²",
+				fmt.Sprintf("%s vs critical %s (C=%d)", f3(v.Stat), f3(v.Critical), vc), verdict})
+		}
+		return out, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, sizeRows := range rows {
+		for _, r := range sizeRows {
+			t.AddRow(r...)
+		}
+	}
+	return t, nil
+}
+
 // ExtThrottle exercises account-level concurrency limits (AWS accounts
 // default to 1000 concurrent executions; the paper's 5000-way experiments
 // needed a raised limit). An unpacked burst beyond the limit serializes

@@ -237,6 +237,27 @@ func floatParam(q url.Values, name string, def float64) (float64, error) {
 	return f, nil
 }
 
+// sizesParam reads sizes, a comma-separated memory grid in MB (e.g.
+// sizes=2048,4096,10240). Empty means the platform default grid; order and
+// positivity are validated downstream by the grid builder with typed
+// errors.
+func sizesParam(q url.Values) ([]float64, error) {
+	v := q.Get("sizes")
+	if v == "" {
+		return nil, nil
+	}
+	parts := strings.Split(v, ",")
+	sizes := make([]float64, 0, len(parts))
+	for _, p := range parts {
+		f, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+		if err != nil || math.IsNaN(f) || math.IsInf(f, 0) {
+			return nil, badRequest("bad sizes entry %q", p)
+		}
+		sizes = append(sizes, f)
+	}
+	return sizes, nil
+}
+
 // weightsParam reads ws (service weight; expense is 1−ws).
 func weightsParam(q url.Values) (core.Weights, error) {
 	ws, err := floatParam(q, "ws", 0.5)
@@ -296,6 +317,21 @@ type qosResponse struct {
 	WService     float64  `json:"w_service"`
 	WExpense     float64  `json:"w_expense"`
 	Plan         planJSON `json:"plan"`
+}
+
+type jointResponse struct {
+	App              string    `json:"app"`
+	Platform         string    `json:"platform"`
+	C                int       `json:"c"`
+	WService         float64   `json:"w_service"`
+	WExpense         float64   `json:"w_expense"`
+	QoSSec           float64   `json:"qos_sec,omitempty"`
+	TailQuantile     float64   `json:"tail_quantile,omitempty"`
+	SizesMB          []float64 `json:"sizes_mb"`
+	MemMB            float64   `json:"mem_mb"`
+	MaxDegree        int       `json:"max_degree"`
+	Plan             planJSON  `json:"plan"`
+	ModelOverheadUSD float64   `json:"model_overhead_usd"`
 }
 
 type planAtResponse struct {
@@ -401,6 +437,68 @@ func (s *Server) computeQoS(ctx context.Context, q url.Values) (any, error) {
 		WService: w.Service, WExpense: w.Expense,
 		Plan: planToJSON(plan),
 	}, nil
+}
+
+// computeJoint is GET /v1/joint?app=&platform=&c=&ws=&sizes=&qos= — joint
+// degree × memory planning over a memory-size grid. With qos set, the
+// objective weights come from the Sec. 2.6 search over the whole grid;
+// otherwise ws applies directly. sizes defaults to quarter steps of the
+// platform's instance memory.
+func (s *Server) computeJoint(ctx context.Context, q url.Values) (any, error) {
+	app, plat := q.Get("app"), q.Get("platform")
+	c, err := intParam(q, "c", 5000)
+	if err != nil {
+		return nil, err
+	}
+	if c < 1 {
+		return nil, badRequest("c %d < 1", c)
+	}
+	w, err := weightsParam(q)
+	if err != nil {
+		return nil, err
+	}
+	qos, err := floatParam(q, "qos", 0)
+	if err != nil {
+		return nil, err
+	}
+	if qos < 0 {
+		return nil, badRequest("qos must be a positive p95 bound in seconds")
+	}
+	sizes, err := sizesParam(q)
+	if err != nil {
+		return nil, err
+	}
+	e, err := s.pool.getJoint(ctx, plat, app, sizes)
+	if err != nil {
+		return nil, err
+	}
+	resp := &jointResponse{
+		App: app, Platform: e.platformName, C: c,
+		SizesMB:          e.sizesMB,
+		ModelOverheadUSD: e.overhead.TotalUSD(),
+	}
+	var plan core.JointPlan
+	if qos > 0 {
+		plan, w, err = e.planner.QoSPlanJoint(c, qos, core.QoSOptions{})
+		if err != nil {
+			return nil, badRequest("%v", err)
+		}
+		resp.QoSSec, resp.TailQuantile = qos, 95
+	} else {
+		plan, err = e.planner.PlanJointFor(c, w)
+		if err != nil {
+			return nil, badRequest("%v", err)
+		}
+	}
+	resp.WService, resp.WExpense = w.Service, w.Expense
+	resp.MemMB = plan.MemMB
+	resp.Plan = planToJSON(plan.Plan)
+	for _, sm := range e.grid.Sizes {
+		if sm.MemMB == plan.MemMB {
+			resp.MaxDegree = sm.Models.MaxDegree
+		}
+	}
+	return resp, nil
 }
 
 // computePlan is GET /v1/plan?app=&platform=&c=&degree= — model predictions

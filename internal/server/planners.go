@@ -23,6 +23,7 @@ type plannerPool struct {
 	flights flightGroup
 	mu      sync.Mutex
 	entries map[string]*plannerEntry
+	joints  map[string]*jointEntry
 	builds  atomic.Int64
 }
 
@@ -34,8 +35,24 @@ type plannerEntry struct {
 	platformName string // the config's display name, echoed in responses
 }
 
+// jointEntry is one profiled (platform, app, memory-size grid) triple: the
+// per-size model stacks plus a cached joint planner over them. Building one
+// costs a modeling pipeline per size, so the pool's singleflight matters
+// even more than for 1-D entries.
+type jointEntry struct {
+	planner      *core.Planner
+	grid         core.GridModels
+	overhead     core.Overhead
+	platformName string
+	sizesMB      []float64
+}
+
 func newPlannerPool(seed int64) *plannerPool {
-	return &plannerPool{seed: seed, entries: make(map[string]*plannerEntry)}
+	return &plannerPool{
+		seed:    seed,
+		entries: make(map[string]*plannerEntry),
+		joints:  make(map[string]*jointEntry),
+	}
 }
 
 // platformByName maps the API's platform parameter to a config, mirroring
@@ -104,9 +121,76 @@ func (p *plannerPool) get(ctx context.Context, platformName, appName string) (*p
 	return v.(*plannerEntry), nil
 }
 
-// size reports the number of profiled pairs, for the models gauge.
+// defaultGridSizes is the memory grid used when the caller does not pass
+// sizes: quarter steps up to the platform's instance memory. Deterministic,
+// so identical requests share one pool entry and the e2e goldens are
+// stable.
+func defaultGridSizes(instanceMemMB float64) []float64 {
+	return []float64{instanceMemMB / 4, instanceMemMB / 2, 3 * instanceMemMB / 4, instanceMemMB}
+}
+
+// getJoint returns the joint entry for (platform, app, sizes), building and
+// caching it on first use. A nil or empty sizesMB takes the platform's
+// default grid. Size-grid validation failures are 400s; only the modeling
+// pipeline itself can produce a 500.
+func (p *plannerPool) getJoint(ctx context.Context, platformName, appName string, sizesMB []float64) (*jointEntry, error) {
+	cfg, err := platformByName(platformName)
+	if err != nil {
+		return nil, badRequest("%v", err)
+	}
+	if len(sizesMB) == 0 {
+		sizesMB = defaultGridSizes(cfg.Shape.MemoryMB)
+	}
+	key := fmt.Sprintf("joint|%s|%s|%v", platformName, appName, sizesMB)
+	p.mu.Lock()
+	e := p.joints[key]
+	p.mu.Unlock()
+	if e != nil {
+		return e, nil
+	}
+	v, err, _ := p.flights.Do(ctx, key, func() (any, error) {
+		p.mu.Lock()
+		if e := p.joints[key]; e != nil {
+			p.mu.Unlock()
+			return e, nil
+		}
+		p.mu.Unlock()
+		w, err := workload.ByName(appName)
+		if err != nil {
+			return nil, badRequest("%v", err)
+		}
+		probes, err := core.GridProbesFor(cfg, w.Demand(), sizesMB, p.seed)
+		if err != nil {
+			return nil, badRequest("%v", err)
+		}
+		grid, overhead, err := core.BuildGridModels(probes)
+		if err != nil {
+			return nil, fmt.Errorf("grid model build for %s on %s: %w", appName, platformName, err)
+		}
+		pl, err := core.NewJointPlanner(grid)
+		if err != nil {
+			return nil, fmt.Errorf("grid model build for %s on %s: %w", appName, platformName, err)
+		}
+		e := &jointEntry{
+			planner: pl, grid: grid, overhead: overhead,
+			platformName: cfg.Name, sizesMB: sizesMB,
+		}
+		p.mu.Lock()
+		p.joints[key] = e
+		p.mu.Unlock()
+		p.builds.Add(1)
+		return e, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return v.(*jointEntry), nil
+}
+
+// size reports the number of profiled pairs (1-D and joint), for the
+// models gauge.
 func (p *plannerPool) size() int {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	return len(p.entries)
+	return len(p.entries) + len(p.joints)
 }

@@ -2,10 +2,10 @@
 // long-running HTTP/JSON service, so many applications share one planner
 // fleet instead of paying the modeling pipeline per CLI invocation.
 //
-// The API surface is deliberately small — /v1/advise, /v1/plan, /v1/qos and
-// /v1/mixed mirror the CLI subcommands, /healthz and /readyz speak to load
-// balancers, and obs.DebugMux's pprof/expvar/metrics routes mount on the
-// same listener. The bulk of the package is the robustness layer wrapped
+// The API surface is deliberately small — /v1/advise, /v1/plan, /v1/qos,
+// /v1/joint and /v1/mixed mirror the CLI subcommands, /healthz and /readyz
+// speak to load balancers, and obs.DebugMux's pprof/expvar/metrics routes
+// mount on the same listener. The bulk of the package is the robustness layer wrapped
 // around the shared propack planner:
 //
 //   - admission control: a bounded in-flight semaphore with a queue-depth
@@ -216,6 +216,7 @@ func New(cfg Config) (*Server, error) {
 	s.mux.Handle("/v1/advise", route("advise", s.computeAdvise))
 	s.mux.Handle("/v1/plan", route("plan", s.computePlan))
 	s.mux.Handle("/v1/qos", route("qos", s.computeQoS))
+	s.mux.Handle("/v1/joint", route("joint", s.computeJoint))
 	s.mux.Handle("/v1/mixed", route("mixed", s.computeMixed))
 	s.mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})

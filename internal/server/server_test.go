@@ -113,6 +113,82 @@ func TestPlanQoSEndpoints(t *testing.T) {
 	}
 }
 
+func TestJointEndpoint(t *testing.T) {
+	s := newTestServer(t, nil)
+
+	// Custom size grid: the daemon must agree bit-for-bit with the library
+	// path at the same seed.
+	rr, body := get(t, s, "/v1/joint?app=Video&platform=aws&c=2000&ws=0.5&sizes=5120,10240", nil)
+	if rr.Code != http.StatusOK {
+		t.Fatalf("joint: status %d: %v", rr.Code, body)
+	}
+	cfg := platform.AWSLambda()
+	d := workload.Video{}.Demand()
+	probes, err := core.GridProbesFor(cfg, d, []float64{5120, 10240}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	grid, _, err := core.BuildGridModels(probes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := grid.PlanJointFor(2000, core.Weights{Service: 0.5, Expense: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan := body["plan"].(map[string]any)
+	if got := int(plan["degree"].(float64)); got != want.Degree {
+		t.Fatalf("joint degree = %d, want %d", got, want.Degree)
+	}
+	if got := body["mem_mb"].(float64); got != want.MemMB {
+		t.Fatalf("joint mem_mb = %g, want %g", got, want.MemMB)
+	}
+	if got := plan["predicted_service_sec"].(float64); got != want.PredictedServiceSec {
+		t.Fatalf("joint service = %g, want %g", got, want.PredictedServiceSec)
+	}
+	if got := len(body["sizes_mb"].([]any)); got != 2 {
+		t.Fatalf("joint echoed %d sizes, want 2", got)
+	}
+	if body["max_degree"].(float64) < 1 {
+		t.Fatalf("joint max_degree missing: %v", body)
+	}
+
+	// Default grid: quarter steps of the platform's instance memory.
+	rr, body = get(t, s, "/v1/joint?app=Video&platform=aws&c=2000", nil)
+	if rr.Code != http.StatusOK {
+		t.Fatalf("joint default sizes: status %d: %v", rr.Code, body)
+	}
+	if got := len(body["sizes_mb"].([]any)); got != 4 {
+		t.Fatalf("default grid has %d sizes, want 4", got)
+	}
+
+	// QoS over the grid: weights come from the Sec. 2.6 search.
+	rr, body = get(t, s, "/v1/joint?app=Xapian&platform=aws&c=2000&qos=120", nil)
+	if rr.Code != http.StatusOK {
+		t.Fatalf("joint qos: status %d: %v", rr.Code, body)
+	}
+	if body["tail_quantile"].(float64) != 95 {
+		t.Fatalf("joint qos tail quantile = %v", body["tail_quantile"])
+	}
+	if body["w_service"].(float64) < 0 || body["w_service"].(float64) > 1 {
+		t.Fatalf("joint qos weights out of range: %v", body)
+	}
+
+	// Bad size grids are client errors, never 500s.
+	for _, path := range []string{
+		"/v1/joint?app=Video&platform=aws&sizes=abc",
+		"/v1/joint?app=Video&platform=aws&sizes=4096,2048",
+		"/v1/joint?app=Video&platform=aws&sizes=4096,4096",
+		"/v1/joint?app=Video&platform=aws&sizes=-1",
+		"/v1/joint?app=Video&platform=aws&sizes=999999999",
+	} {
+		rr, body := get(t, s, path, nil)
+		if rr.Code != http.StatusBadRequest {
+			t.Errorf("GET %s: status %d (%v), want 400", path, rr.Code, body)
+		}
+	}
+}
+
 func TestMixedEndpoint(t *testing.T) {
 	s := newTestServer(t, nil)
 	rr, body := get(t, s, "/v1/mixed?app=Video:60&app=Smith-Waterman:60&platform=aws&ws=0.5", nil)

@@ -26,6 +26,22 @@ func (m ExpModel) String() string {
 	return fmt.Sprintf("exp(%.6g·x %+.6g)", m.Slope, m.Intercept)
 }
 
+// checkExpObservation rejects observations the log transform cannot take.
+// Non-finite values (NaN, ±Inf) unwrap to ErrNonFinite so callers can tell
+// poisoned measurements apart from merely out-of-domain ones; finite
+// non-positive values stay a plain domain error. The `!(y > 0)` form is
+// deliberate: NaN fails it too, unlike `y <= 0`, which lets NaN through
+// (NaN comparisons are always false).
+func checkExpObservation(y float64, i int) error {
+	if !(y > 0) || math.IsInf(y, 1) {
+		if !finite(y) {
+			return fmt.Errorf("%w: exponential fit observation %g at index %d", ErrNonFinite, y, i)
+		}
+		return fmt.Errorf("stats: exponential fit requires positive observations, got %g at index %d", y, i)
+	}
+	return nil
+}
+
 // ExpFit fits y = exp(a·x + b) by linear least squares on (x, ln y).
 // All ys must be strictly positive.
 func ExpFit(xs, ys []float64) (ExpModel, error) {
@@ -37,11 +53,8 @@ func ExpFit(xs, ys []float64) (ExpModel, error) {
 	}
 	logs := make([]float64, len(ys))
 	for i, y := range ys {
-		// NaN fails `y > 0` too, unlike the `y <= 0` form which lets NaN
-		// through (NaN comparisons are always false); +Inf must also be
-		// rejected or its log would poison the linear fit.
-		if !(y > 0) || math.IsInf(y, 1) {
-			return ExpModel{}, fmt.Errorf("stats: exponential fit requires positive finite observations, got %g at index %d", y, i)
+		if err := checkExpObservation(y, i); err != nil {
+			return ExpModel{}, err
 		}
 		logs[i] = math.Log(y)
 	}
@@ -72,8 +85,8 @@ func ExpFitThroughOrigin(xs, ys []float64) (ExpModel, error) {
 	var num, den float64
 	for i, x := range xs {
 		y := ys[i]
-		if !(y > 0) || math.IsInf(y, 1) {
-			return ExpModel{}, fmt.Errorf("stats: exponential fit requires positive finite observations, got %g at index %d", y, i)
+		if err := checkExpObservation(y, i); err != nil {
+			return ExpModel{}, err
 		}
 		num += x * math.Log(y)
 		den += x * x

@@ -65,6 +65,17 @@ type (
 	// DegreeTable is one cached per-concurrency model table (the Planner's
 	// unit of memoization), usable directly for custom degree scans.
 	DegreeTable = core.DegreeTable
+	// GridModels is the joint degree × memory model stack: one fitted
+	// Models per memory size, sharing a single scaling model.
+	GridModels = core.GridModels
+	// SizeModels is one memory size's slot in a GridModels.
+	SizeModels = core.SizeModels
+	// SizeProbe is one memory size's probing setup for BuildGridModels.
+	SizeProbe = core.SizeProbe
+	// JointConfig is a (packing degree, memory size) recommendation.
+	JointConfig = core.JointConfig
+	// JointPlan is a Plan extended with the chosen memory size.
+	JointPlan = core.JointPlan
 	// FailureModel describes mid-execution crashes for reliability-aware
 	// planning (see AdviseReliable).
 	FailureModel = core.FailureModel
@@ -89,6 +100,20 @@ const (
 // NewPlanner builds a Planner over fitted models (e.g. from Advise's
 // Recommendation.Models) for amortized repeated planning.
 var NewPlanner = core.NewPlanner
+
+// NewJointPlanner builds a Planner over a memory-size grid (e.g. from
+// AdviseJoint's JointRecommendation.Grid): the 1-D entry points plan at the
+// base (largest) size, and the joint entry points (PlanJointFor,
+// OptimalConfig, QoSPlanJoint) search degree × memory.
+var NewJointPlanner = core.NewJointPlanner
+
+// BuildGridModels runs the modeling pipeline once per memory size (one
+// scaling schedule shared across sizes) and assembles the joint grid.
+var BuildGridModels = core.BuildGridModels
+
+// GridProbesFor derives BuildGridModels probes from the simulator at each
+// requested memory size.
+var GridProbesFor = core.GridProbesFor
 
 // Objective weight presets (Sec. 2.5).
 var (
@@ -182,6 +207,55 @@ func AdviseQoS(cfg PlatformConfig, d Demand, c int, qosSec float64) (Recommendat
 		return Recommendation{}, Weights{}, err
 	}
 	return Recommendation{Plan: plan, Models: models, Overhead: overhead}, w, nil
+}
+
+// JointRecommendation is what AdviseJoint returns: the joint (degree,
+// memory) plan plus the full grid for auditing and re-planning.
+type JointRecommendation struct {
+	Plan     JointPlan
+	Grid     GridModels
+	Overhead Overhead
+}
+
+// AdviseJoint is Advise over a memory-size grid: the modeling pipeline runs
+// once per size (interference depends on the CPU share, which scales with
+// memory; the scaling probes run once, at the largest size), and the
+// planner searches packing degree and memory size jointly — Lambda's
+// power-tuning knob folded into Eq. 7. sizesMB must be strictly increasing
+// and within the platform's instance memory.
+func AdviseJoint(cfg PlatformConfig, d Demand, c int, w Weights, sizesMB []float64) (JointRecommendation, error) {
+	probes, err := core.GridProbesFor(cfg, d, sizesMB, 1)
+	if err != nil {
+		return JointRecommendation{}, err
+	}
+	grid, overhead, err := core.BuildGridModels(probes)
+	if err != nil {
+		return JointRecommendation{}, err
+	}
+	plan, err := grid.PlanJointFor(c, w)
+	if err != nil {
+		return JointRecommendation{}, err
+	}
+	return JointRecommendation{Plan: plan, Grid: grid, Overhead: overhead}, nil
+}
+
+// AdviseJointQoS is AdviseJoint with a tail-latency bound: the weights are
+// chosen per Sec. 2.6 over the whole grid, so a larger memory size can buy
+// feasibility that no packing degree at the default size could.
+func AdviseJointQoS(cfg PlatformConfig, d Demand, c int, qosSec float64, sizesMB []float64) (JointRecommendation, Weights, error) {
+	probes, err := core.GridProbesFor(cfg, d, sizesMB, 1)
+	if err != nil {
+		return JointRecommendation{}, Weights{}, err
+	}
+	grid, overhead, err := core.BuildGridModels(probes)
+	if err != nil {
+		return JointRecommendation{}, Weights{}, err
+	}
+	plan, w, err := grid.QoSPlanJoint(c, qosSec, core.QoSOptions{})
+	if err != nil {
+		return JointRecommendation{}, Weights{}, err
+	}
+	return JointRecommendation{Plan: plan, Grid: grid, Overhead: overhead}, w, nil
 }
 
 // Run executes c concurrent functions packed at the given degree on the
